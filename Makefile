@@ -1,0 +1,36 @@
+# Stark reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/logmining -hours 4 -cogroup 3
+	$(GO) run ./examples/taxiads -hours 3
+	$(GO) run ./examples/trending -steps 6
+	$(GO) run ./examples/pagerank -nodes 500 -iterations 4
+	$(GO) run ./examples/forensics
+
+experiments:
+	$(GO) run ./cmd/starkbench -experiment all -quick
+
+clean:
+	$(GO) clean ./...

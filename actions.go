@@ -1,0 +1,64 @@
+package stark
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CountByKey counts records per key on the driver, like Spark's
+// countByKey action.
+func (r *RDD) CountByKey() (map[string]int64, JobStats, error) {
+	recs, stats, err := r.ctx.eng.Collect(r.r)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[string]int64)
+	for _, rec := range recs {
+		out[rec.Key]++
+	}
+	return out, stats, nil
+}
+
+// Take returns up to n records in partition order, like Spark's take. The
+// whole dataset is materialized (the engine has no partial evaluation), so
+// prefer Count/Collect-driven pipelines for large results.
+func (r *RDD) Take(n int) ([]Record, JobStats, error) {
+	if n < 0 {
+		return nil, JobStats{}, fmt.Errorf("stark: Take(%d): n must be >= 0", n)
+	}
+	recs, stats, err := r.ctx.eng.Collect(r.r)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs, stats, nil
+}
+
+// First returns the first record; ok is false for an empty dataset.
+func (r *RDD) First() (rec Record, ok bool, stats JobStats, err error) {
+	recs, stats, err := r.Take(1)
+	if err != nil || len(recs) == 0 {
+		return Record{}, false, stats, err
+	}
+	return recs[0], true, stats, nil
+}
+
+// Keys collects the distinct keys of the dataset, sorted.
+func (r *RDD) Keys() ([]string, JobStats, error) {
+	recs, stats, err := r.ctx.eng.Collect(r.r)
+	if err != nil {
+		return nil, stats, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, rec := range recs {
+		if !seen[rec.Key] {
+			seen[rec.Key] = true
+			out = append(out, rec.Key)
+		}
+	}
+	sort.Strings(out)
+	return out, stats, nil
+}

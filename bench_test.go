@@ -1,0 +1,213 @@
+package stark_test
+
+// One benchmark per measured figure of the paper's evaluation (Sec. IV).
+// Each iteration replays the figure's full experiment on the simulated
+// cluster and reports the headline quantities as custom metrics (virtual
+// time, ratios), so `go test -bench=.` regenerates every result. The
+// companion CLI `go run ./cmd/starkbench -experiment all` prints the full
+// rows/series.
+
+import (
+	"testing"
+	"time"
+
+	"stark/internal/experiments"
+)
+
+func reportSeconds(b *testing.B, name string, d time.Duration) {
+	b.Helper()
+	b.ReportMetric(d.Seconds(), name)
+}
+
+func BenchmarkFig01DataLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig01(experiments.DefaultFig01())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeconds(b, "C_vsec", r.C)
+		reportSeconds(b, "D_vsec", r.D)
+		reportSeconds(b, "Dminus_vsec", r.DMinus)
+	}
+}
+
+func BenchmarkFig07PartitionSweep(b *testing.B) {
+	cfg := experiments.DefaultFig07()
+	cfg.Partitions = []int{1, 16, 256, 4096, 65536}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig07(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestN, bestD := r.Best()
+		b.ReportMetric(float64(bestN), "best_partitions")
+		reportSeconds(b, "best_vsec", bestD)
+		reportSeconds(b, "at1_vsec", r.Delay[0])
+		reportSeconds(b, "at65536_vsec", r.Delay[len(r.Delay)-2])
+	}
+}
+
+func BenchmarkFig11CoLocality(b *testing.B) {
+	cfg := experiments.DefaultFig11()
+	cfg.QueriesPerK = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k5 := len(r.Ks) - 2
+		b.ReportMetric(float64(r.SparkH[k5])/float64(r.StarkH[k5]), "speedup_k5")
+		k6 := len(r.Ks) - 1
+		b.ReportMetric(float64(r.SparkH[k6])/float64(r.StarkH[k6]), "speedup_k6")
+		reportSeconds(b, "starkH_k5_vsec", r.StarkH[k5])
+		reportSeconds(b, "sparkH_k5_vsec", r.SparkH[k5])
+	}
+}
+
+func BenchmarkFig12TaskDelay(b *testing.B) {
+	cfg := experiments.DefaultFig11()
+	cfg.QueriesPerK = 3
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// GC share of the slowest Stark cogroup-6 task — the Fig. 12 story.
+		jm := r.TasksStark[6]
+		tasks := jm.TasksSortedByDuration()
+		if len(tasks) == 0 {
+			b.Fatal("no tasks recorded")
+		}
+		slow := tasks[0]
+		b.ReportMetric(float64(slow.GC)/float64(slow.Duration())*100, "stark_k6_gc_pct")
+	}
+}
+
+func BenchmarkFig13InputBalance(b *testing.B) {
+	cfg := experiments.DefaultSkew()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSkew(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Max/mean task-input ratio on the hottest collection: Stark-S is
+		// skewed, Stark-E balanced.
+		ratio := func(sys experiments.System) float64 {
+			sizes := r.InputSizes[sys]["RDD 7-9"]
+			var max, sum int64
+			for _, s := range sizes {
+				sum += s
+				if s > max {
+					max = s
+				}
+			}
+			if sum == 0 {
+				return 0
+			}
+			return float64(max) / (float64(sum) / float64(len(sizes)))
+		}
+		b.ReportMetric(ratio(experiments.StarkS), "starkS_imbalance")
+		b.ReportMetric(ratio(experiments.StarkE), "starkE_imbalance")
+	}
+}
+
+func BenchmarkFig14SkewJobs(b *testing.B) {
+	cfg := experiments.DefaultSkew()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSkew(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeconds(b, "starkE_first_vsec", r.Jobs[experiments.StarkE]["RDD 7-9"].First)
+		reportSeconds(b, "starkE_second_vsec", r.Jobs[experiments.StarkE]["RDD 7-9"].Second)
+		reportSeconds(b, "starkS_second_vsec", r.Jobs[experiments.StarkS]["RDD 7-9"].Second)
+		reportSeconds(b, "sparkR_second_vsec", r.Jobs[experiments.SparkR]["RDD 7-9"].Second)
+	}
+}
+
+func BenchmarkFig15SkewTasks(b *testing.B) {
+	cfg := experiments.DefaultSkew()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSkew(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Shuffle share of total task time for Spark-R on the skewed
+		// collection — the Fig. 15 white bars.
+		jm := r.Jobs[experiments.SparkR]["RDD 7-9"].SecondStats
+		var total, shuffle time.Duration
+		for _, tm := range jm.Tasks {
+			total += tm.Duration()
+			shuffle += tm.ShuffleRead
+		}
+		if total > 0 {
+			b.ReportMetric(float64(shuffle)/float64(total)*100, "sparkR_shuffle_pct")
+		}
+	}
+}
+
+func BenchmarkFig17CheckpointSize(b *testing.B) {
+	cfg := experiments.DefaultCheckpoint()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig17(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Ratio, "cp_ratio")
+	}
+}
+
+func BenchmarkFig18CheckpointTotal(b *testing.B) {
+	cfg := experiments.DefaultCheckpoint()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig18(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := cfg.Steps - 1
+		b.ReportMetric(float64(r.Stark1[last])/(1<<20), "stark1_MB")
+		b.ReportMetric(float64(r.Stark3[last])/(1<<20), "stark3_MB")
+		b.ReportMetric(float64(r.Tachyon[last])/(1<<20), "tachyon_MB")
+		b.ReportMetric(float64(r.Tachyon[last])/float64(r.Stark1[last]), "tachyon_over_stark1")
+	}
+}
+
+func BenchmarkFig19Throughput(b *testing.B) {
+	cfg := experiments.DefaultThroughput()
+	cfg.QueriesPerRate = 60
+	cfg.Rates = []float64{9, 56, 220}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig19(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Throughput[experiments.StarkH], "starkH_jobs_per_s")
+		b.ReportMetric(r.Throughput[experiments.SparkH], "sparkH_jobs_per_s")
+		b.ReportMetric(float64(r.Curves[experiments.StarkH][0].MeanDelay.Milliseconds()), "starkH_ms_at_9")
+		b.ReportMetric(float64(r.Curves[experiments.SparkH][0].MeanDelay.Milliseconds()), "sparkH_ms_at_9")
+	}
+}
+
+func BenchmarkFig20DelayOverTime(b *testing.B) {
+	cfg := experiments.DefaultFig20()
+	cfg.Hours = 8
+	cfg.BurstsPerHour = 1
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig20(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := func(sys experiments.System) float64 {
+			var max time.Duration
+			for _, pt := range r.Series[sys] {
+				if pt.MeanDelay > max {
+					max = pt.MeanDelay
+				}
+			}
+			return float64(max.Milliseconds())
+		}
+		b.ReportMetric(peak(experiments.SparkH), "sparkH_peak_ms")
+		b.ReportMetric(peak(experiments.StarkH), "starkH_peak_ms")
+		b.ReportMetric(peak(experiments.StarkE), "starkE_peak_ms")
+	}
+}

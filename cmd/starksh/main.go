@@ -1,0 +1,186 @@
+// Command starksh is a tiny interactive shell over a Stark context: load
+// hourly log datasets into a namespace, run cogroup queries over ranges,
+// kill executors, and watch partition groups rebalance — a hands-on tour of
+// the paper's mechanisms.
+//
+//	$ starksh
+//	stark> load 3
+//	stark> query 0 2 article-001
+//	stark> groups
+//	stark> kill 2
+//	stark> query 0 2 article-001
+//	stark> quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stark"
+	"stark/internal/metrics"
+)
+
+type shell struct {
+	ctx   *stark.Context
+	p     stark.Partitioner
+	gen   stark.WikipediaTrace
+	rdds  []*stark.RDD
+	out   *bufio.Writer
+	nsReg bool
+}
+
+const ns = "logs"
+
+func newShell() *shell {
+	return &shell{
+		ctx: stark.NewContext(
+			stark.WithExtendable(stark.GroupBounds(512<<20, 64<<20, 4)),
+			stark.WithMCF(),
+			stark.WithExecutors(8),
+			stark.WithSlots(4),
+			stark.WithSizeScale(420),
+		),
+		p:   stark.NewHashPartitioner(16),
+		gen: stark.DefaultWikipediaTrace(),
+		out: bufio.NewWriter(os.Stdout),
+	}
+}
+
+func (s *shell) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+func (s *shell) load(hours int) error {
+	if !s.nsReg {
+		if err := s.ctx.RegisterNamespace(ns, s.p, 4); err != nil {
+			return err
+		}
+		s.nsReg = true
+	}
+	for i := 0; i < hours; i++ {
+		h := len(s.rdds)
+		rdd := s.ctx.TextFile(fmt.Sprintf("hour-%02d", h), s.gen.Hour(h), 8).
+			LocalityPartitionBy(s.p, ns).Cache()
+		if _, err := rdd.Materialize(); err != nil {
+			return err
+		}
+		if _, err := s.ctx.ReportRDD(rdd); err != nil {
+			return err
+		}
+		s.rdds = append(s.rdds, rdd)
+		s.printf("loaded hour %d\n", h)
+	}
+	return nil
+}
+
+func (s *shell) query(from, to int, keyword string) error {
+	if from < 0 || to >= len(s.rdds) || from > to {
+		return fmt.Errorf("range [%d,%d] outside loaded hours [0,%d]", from, to, len(s.rdds)-1)
+	}
+	q := s.ctx.CoGroup(s.p, s.rdds[from:to+1]...).Filter(func(r stark.Record) bool {
+		return strings.Contains(r.Key, keyword)
+	})
+	n, jm, err := q.Count()
+	if err != nil {
+		return err
+	}
+	s.printf("%d urls matching %q in hours [%d,%d]  (%v, locality %.0f%%)\n",
+		n, keyword, from, to, jm.Makespan(), jm.LocalityFraction()*100)
+	return nil
+}
+
+func (s *shell) groups() error {
+	gs, err := s.ctx.GroupList(ns)
+	if err != nil {
+		return err
+	}
+	sizes, err := s.ctx.GroupSizes(ns)
+	if err != nil {
+		return err
+	}
+	for _, g := range gs {
+		s.printf("group %3d: partitions [%d,%d)  %5d MB\n", g.ID, g.Lo, g.Hi, sizes[g.ID]>>20)
+	}
+	return nil
+}
+
+func (s *shell) exec(line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil
+	}
+	atoi := func(i int, def int) int {
+		if i >= len(fields) {
+			return def
+		}
+		v, convErr := strconv.Atoi(fields[i])
+		if convErr != nil {
+			return def
+		}
+		return v
+	}
+	switch fields[0] {
+	case "quit", "exit":
+		return true, nil
+	case "help":
+		s.printf("commands: load <hours> | query <from> <to> <keyword> | groups | kill <exec> | restart <exec> | stats | timeline | quit\n")
+	case "load":
+		return false, s.load(atoi(1, 1))
+	case "query":
+		kw := ""
+		if len(fields) > 3 {
+			kw = fields[3]
+		}
+		return false, s.query(atoi(1, 0), atoi(2, 0), kw)
+	case "groups":
+		return false, s.groups()
+	case "kill":
+		s.ctx.KillExecutor(atoi(1, 0))
+		s.printf("executor %d failed; lineage recovery will recompute its partitions\n", atoi(1, 0))
+	case "restart":
+		s.ctx.RestartExecutor(atoi(1, 0))
+		s.printf("executor %d back with a cold cache\n", atoi(1, 0))
+	case "stats":
+		jobs := s.ctx.CompletedJobs()
+		s.printf("%d jobs completed; virtual clock at %v\n", len(jobs), s.ctx.Now())
+		s.printf("%s\n", s.ctx.Stats())
+	case "timeline":
+		jobs := s.ctx.CompletedJobs()
+		if len(jobs) == 0 {
+			s.printf("no jobs yet\n")
+			break
+		}
+		s.printf("%s", metrics.Gantt(jobs[len(jobs)-1], 72))
+	default:
+		s.printf("unknown command %q (try help)\n", fields[0])
+	}
+	return false, nil
+}
+
+func main() {
+	sh := newShell()
+	defer func() {
+		_ = sh.out.Flush()
+	}()
+	sh.printf("stark shell — type help\n")
+	_ = sh.out.Flush()
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		sh.printf("stark> ")
+		_ = sh.out.Flush()
+		if !in.Scan() {
+			return
+		}
+		quit, err := sh.exec(in.Text())
+		if err != nil {
+			sh.printf("error: %v\n", err)
+		}
+		if quit {
+			return
+		}
+		_ = sh.out.Flush()
+	}
+}

@@ -1,0 +1,51 @@
+// Package stark is a Go reproduction of "Stark: Optimizing In-Memory
+// Computing For Dynamic Dataset Collections" (Li et al., IEEE ICDCS 2017).
+//
+// Stark extends a Spark-like in-memory computing engine with three
+// mechanisms for applications that operate on dynamic collections of
+// datasets (hourly logs, streaming timesteps, interactively loaded
+// forensics data):
+//
+//   - Co-locality (LocalityManager): all RDDs registered under a namespace
+//     share one partitioner, and partition i of every RDD is cached on the
+//     same executors, so cogroup/join across the collection is local and
+//     shuffle-free.
+//   - Partition elasticity (GroupManager): data is split into many small
+//     partitions organized into extendable partition groups — leaves of a
+//     binary Group Tree that split and merge on size thresholds without
+//     repartitioning; a group is the task scheduling unit, and the
+//     Minimum-Contention-First scheduler places remote tasks on the least
+//     contended executors.
+//   - Bounded-delay checkpointing (CheckpointOptimizer): when any
+//     uncheckpointed lineage path exceeds a recovery bound, a min-cut over
+//     the lineage selects the cheapest RDD set to persist.
+//
+// Because no Spark exists in Go, the package includes the full substrate: a
+// lazy RDD engine with narrow/wide dependencies, stages, a shuffle layer
+// with persisted map outputs, per-executor LRU caches, delay scheduling,
+// and failure recovery — all executing real transformations over in-process
+// data while a deterministic discrete-event simulation charges cluster
+// costs (disk, network, compute, GC) on a virtual timeline. Experiments
+// that simulate hours of cluster time run in milliseconds.
+//
+// # Quick start
+//
+//	ctx := stark.NewContext(stark.WithStark())
+//	p := stark.NewHashPartitioner(8)
+//	if err := ctx.RegisterNamespace("logs", p, 1); err != nil { ... }
+//
+//	var hours []*stark.RDD
+//	for h := 0; h < 3; h++ {
+//		rdd := ctx.Parallelize(fmt.Sprintf("hour%d", h), records[h], 4).
+//			LocalityPartitionBy(p, "logs").
+//			Cache()
+//		rdd.MustCount()
+//		hours = append(hours, rdd)
+//	}
+//	errors := ctx.CoGroup(p, hours...).
+//		Filter(func(r stark.Record) bool { return strings.Contains(r.Key, "ERROR") })
+//	n, stats, err := errors.Count()
+//
+// See the examples directory for complete applications and EXPERIMENTS.md
+// for the reproduction of the paper's evaluation.
+package stark

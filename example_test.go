@@ -1,0 +1,103 @@
+package stark_test
+
+import (
+	"fmt"
+	"strings"
+
+	"stark"
+)
+
+// The basic flow: build a dataset, filter, count. Virtual time elapses on
+// the simulated cluster, not the wall clock.
+func ExampleContext_Parallelize() {
+	ctx := stark.NewContext(stark.WithExecutors(4), stark.WithSeed(1))
+	var recs []stark.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, stark.Pair(fmt.Sprintf("user-%02d", i%10), int64(i)))
+	}
+	data := ctx.Parallelize("events", recs, 4)
+	even := data.Filter(func(r stark.Record) bool {
+		return strings.HasSuffix(r.Key, "0") // user-00
+	})
+	n, _, err := even.Count()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(n)
+	// Output: 10
+}
+
+// Co-locality: register a namespace, load a dataset collection with
+// localityPartitionBy, and cogroup across it without any shuffle.
+func ExampleContext_CoGroup() {
+	ctx := stark.NewContext(stark.WithCoLocality(), stark.WithExecutors(4), stark.WithSeed(1))
+	p := stark.NewHashPartitioner(4)
+	if err := ctx.RegisterNamespace("hours", p, 1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var hours []*stark.RDD
+	for h := 0; h < 3; h++ {
+		recs := []stark.Record{
+			stark.Pair("alpha", h), stark.Pair("beta", h),
+		}
+		rdd := ctx.Parallelize(fmt.Sprintf("hour%d", h), recs, 2).
+			LocalityPartitionBy(p, "hours").Cache()
+		if _, err := rdd.Materialize(); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		hours = append(hours, rdd)
+	}
+	cg := ctx.CoGroup(p, hours...)
+	recs, stats, err := cg.Collect()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("keys:", len(recs))
+	fmt.Println("all tasks local:", stats.LocalityFraction() == 1.0)
+	// Output:
+	// keys: 2
+	// all tasks local: true
+}
+
+// ReduceByKey aggregates values per key; with a co-partitioned parent it
+// runs as a narrow pass with no shuffle.
+func ExampleRDD_ReduceByKey() {
+	ctx := stark.NewContext(stark.WithSeed(1))
+	recs := []stark.Record{
+		stark.Pair("a", int64(1)), stark.Pair("b", int64(10)), stark.Pair("a", int64(2)),
+	}
+	sums := ctx.Parallelize("d", recs, 2).
+		ReduceByKey(stark.NewHashPartitioner(2), func(x, y any) any {
+			return x.(int64) + y.(int64)
+		})
+	out, _, err := sums.Collect()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total := int64(0)
+	for _, r := range out {
+		total += r.Value.(int64)
+	}
+	fmt.Println(len(out), total)
+	// Output: 2 13
+}
+
+// Checkpointing bounds failure recovery: persist an RDD and later jobs
+// start from stable storage instead of replaying lineage.
+func ExampleRDD_Checkpoint() {
+	ctx := stark.NewContext(stark.WithSeed(1))
+	r := ctx.Parallelize("d", []stark.Record{stark.Pair("k", 1)}, 1).
+		Filter(func(stark.Record) bool { return true }).Cache()
+	if _, err := r.Materialize(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r.Checkpoint()
+	fmt.Println(r.IsCheckpointed(), ctx.TotalCheckpointBytes() > 0)
+	// Output: true true
+}

@@ -1,0 +1,76 @@
+// Trending: the paper's Fig. 16 application — a Twitter-trends-style job
+// that tracks popular keys and their contents across timesteps. Each step
+// chains onto the previous one (runningReduce), growing the lineage without
+// bound; Stark's CheckpointOptimizer keeps failure recovery bounded by
+// min-cut-selecting the cheapest RDDs to persist. A mid-run executor
+// failure demonstrates recovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stark"
+	"stark/internal/trending"
+)
+
+func run(steps int, bound time.Duration, relax float64) error {
+	ctx := stark.NewContext(
+		stark.WithCoLocality(),
+		stark.WithExecutors(8),
+		stark.WithSlots(4),
+		stark.WithSizeScale(420),
+		stark.WithCheckpointing(bound, relax),
+	)
+	p := stark.NewHashPartitioner(8)
+	if err := ctx.RegisterNamespace("trend", p, 1); err != nil {
+		return err
+	}
+	cfg := trending.DefaultConfig(p)
+	cfg.Namespace = "trend"
+	cfg.PopularThreshold = 4
+	app := trending.New(ctx, cfg)
+
+	gen := stark.DefaultWikipediaTrace()
+	gen.RequestsPerHour = 10000
+	for s := 0; s < steps; s++ {
+		raw := gen.Hour(s)
+		keyed := make([]stark.Record, len(raw))
+		for i, r := range raw {
+			k := r.Key
+			if len(k) > 17 {
+				k = k[:17]
+			}
+			keyed[i] = stark.Pair(k, r.Value)
+		}
+		out, err := app.Step(keyed)
+		if err != nil {
+			return err
+		}
+		popular, _, err := out.ACnt.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("step %2d: %4d trending keys | checkpointed so far: %4d MB\n",
+			s, popular, ctx.TotalCheckpointBytes()>>20)
+
+		if s == steps/2 {
+			fmt.Println("-- killing executor 3; lineage recovery takes over --")
+			ctx.KillExecutor(3)
+		}
+	}
+	return nil
+}
+
+func main() {
+	steps := flag.Int("steps", 10, "timesteps to run")
+	bound := flag.Duration("bound", 3200*time.Millisecond, "recovery delay bound r")
+	relax := flag.Float64("relax", 1, "checkpoint cost relaxation f (>= 1)")
+	flag.Parse()
+	if err := run(*steps, *bound, *relax); err != nil {
+		fmt.Fprintln(os.Stderr, "trending:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,297 @@
+// Package checkpoint implements Stark's CheckpointOptimizer (paper
+// Sec. III-D) and the Tachyon Edge baseline it is evaluated against.
+//
+// Co-locality and extendable groups eliminate shuffles, so lineage chains
+// no longer get broken by persisted map outputs and failure-recovery delay
+// can grow without bound. Every RDD carries a recovery delay d (its maximum
+// observed per-task transform time) and a checkpoint cost c (its cached
+// size). Whenever an *uncheckpointed path* — a narrow-dependency path
+// containing no checkpointed RDD and crossing no shuffle boundary — exceeds
+// the user's recovery bound r, the optimizer selects the cheapest set of
+// RDDs whose checkpointing breaks every violating path, via a minimum s-t
+// cut on a node-split max-flow network (Fig. 10). A relaxation factor f
+// biases the cut toward the trigger RDD, trading up to f× optimal cost for
+// fewer future invocations.
+package checkpoint
+
+import (
+	"sort"
+	"time"
+
+	"stark/internal/flow"
+	"stark/internal/rdd"
+)
+
+// StatsFunc supplies an RDD's recovery delay d and checkpoint cost c.
+type StatsFunc func(*rdd.RDD) (delay time.Duration, costBytes int64)
+
+// DefaultStats reads the measurements the engine records on each RDD.
+func DefaultStats(r *rdd.RDD) (time.Duration, int64) {
+	return r.MaxTransformTime, r.TotalBytes()
+}
+
+// narrowUncheckpointedParents returns the parents reachable along
+// chain-extending edges: narrow deps into RDDs that are not checkpointed.
+// Shuffle deps never extend chains because map outputs are persisted.
+func narrowUncheckpointedParents(r *rdd.RDD) []*rdd.RDD {
+	var out []*rdd.RDD
+	for _, d := range r.Deps {
+		if d.Shuffle || d.Parent.Checkpointed {
+			continue
+		}
+		out = append(out, d.Parent)
+	}
+	return out
+}
+
+// LongestPath returns the longest uncheckpointed path ending at r (inclusive
+// of r's own delay). A checkpointed r has no uncheckpointed path and scores
+// zero.
+func LongestPath(r *rdd.RDD, stats StatsFunc) time.Duration {
+	memo := make(map[int]time.Duration)
+	return longestTo(r, stats, memo)
+}
+
+func longestTo(r *rdd.RDD, stats StatsFunc, memo map[int]time.Duration) time.Duration {
+	if r.Checkpointed {
+		return 0
+	}
+	if v, ok := memo[r.ID]; ok {
+		return v
+	}
+	d, _ := stats(r)
+	best := d
+	for _, p := range narrowUncheckpointedParents(r) {
+		if got := longestTo(p, stats, memo) + d; got > best {
+			best = got
+		}
+	}
+	memo[r.ID] = best
+	return best
+}
+
+// Violates reports whether r's longest uncheckpointed path exceeds bound.
+func Violates(r *rdd.RDD, bound time.Duration, stats StatsFunc) bool {
+	return LongestPath(r, stats) > bound
+}
+
+// Plan is a checkpoint selection.
+type Plan struct {
+	// Select lists the RDDs to checkpoint, in id order.
+	Select []*rdd.RDD
+	// TotalCost sums their checkpoint costs in bytes.
+	TotalCost int64
+}
+
+// Optimize computes the relaxed min-cut checkpoint plan for trigger, whose
+// longest uncheckpointed path exceeds bound. relax is the paper's f >= 1;
+// f = 1 demands the exact minimum cut. stats defaults to DefaultStats when
+// nil. The empty plan is returned when nothing violates the bound.
+func Optimize(trigger *rdd.RDD, bound time.Duration, relax float64, stats StatsFunc) Plan {
+	if stats == nil {
+		stats = DefaultStats
+	}
+	if relax < 1 {
+		relax = 1
+	}
+	sub := violatingSubgraph(trigger, bound, stats)
+	if len(sub.nodes) == 0 {
+		return Plan{}
+	}
+
+	// Node-split flow network: in(n)=2k, out(n)=2k+1 for the k-th subgraph
+	// node; source s feeds every violating-path root, trigger's out-node
+	// feeds sink t.
+	n := len(sub.nodes)
+	s, t := 2*n, 2*n+1
+	g := flow.NewGraph(2*n + 2)
+	nodeEdge := make(map[int]int, n) // rdd id -> node edge id
+	idx := make(map[int]int, n)      // rdd id -> subgraph index
+	for i, r := range sub.nodes {
+		idx[r.ID] = i
+	}
+	for i, r := range sub.nodes {
+		_, c := stats(r)
+		nodeEdge[r.ID] = g.AddEdge(2*i, 2*i+1, c)
+	}
+	for _, r := range sub.nodes {
+		for _, p := range narrowUncheckpointedParents(r) {
+			pi, ok := idx[p.ID]
+			if !ok {
+				continue
+			}
+			g.AddEdge(2*pi+1, 2*idx[r.ID], flow.Inf)
+		}
+	}
+	for _, r := range sub.roots {
+		g.AddEdge(s, 2*idx[r.ID], flow.Inf)
+	}
+	g.AddEdge(2*idx[trigger.ID]+1, t, flow.Inf)
+	g.MaxFlow(s, t)
+
+	// Relaxed back-trace (paper Sec. III-D2): breadth-first from the
+	// trigger toward the roots, stopping at the first node whose edge
+	// qualifies — original capacity within relax times the flow over it.
+	// Min-cut edges are saturated (cap == flow), so they always qualify and
+	// the trace terminates with a valid cut; larger relax factors let it
+	// stop earlier, closer to the trigger.
+	qualifies := func(rid int) bool {
+		e := g.EdgeByID(nodeEdge[rid])
+		capacity := e.Flow() + e.Residual()
+		return float64(capacity) <= relax*float64(e.Flow())
+	}
+	selected := make(map[int]*rdd.RDD)
+	visited := make(map[int]bool)
+	queue := []*rdd.RDD{trigger}
+	visited[trigger.ID] = true
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if qualifies(r.ID) {
+			selected[r.ID] = r
+			continue
+		}
+		parents := narrowUncheckpointedParents(r)
+		atRoot := true
+		for _, p := range parents {
+			if _, ok := idx[p.ID]; !ok {
+				continue
+			}
+			atRoot = false
+			if !visited[p.ID] {
+				visited[p.ID] = true
+				queue = append(queue, p)
+			}
+		}
+		if atRoot {
+			// Defensive: a root that does not qualify still cuts its paths.
+			selected[r.ID] = r
+		}
+	}
+
+	var plan Plan
+	for _, r := range selected {
+		plan.Select = append(plan.Select, r)
+		_, c := stats(r)
+		plan.TotalCost += c
+	}
+	sort.Slice(plan.Select, func(i, j int) bool { return plan.Select[i].ID < plan.Select[j].ID })
+	return plan
+}
+
+// subgraph holds the RDDs lying on violating paths into the trigger.
+type subgraph struct {
+	nodes []*rdd.RDD
+	roots []*rdd.RDD
+}
+
+// violatingSubgraph finds every node n that lies on an uncheckpointed path
+// into trigger whose total delay exceeds bound: longest-from-root(n) +
+// longest-to-trigger(n) − d(n) > bound.
+func violatingSubgraph(trigger *rdd.RDD, bound time.Duration, stats StatsFunc) subgraph {
+	fromRoot := make(map[int]time.Duration)
+	var nodes []*rdd.RDD
+	var fr func(r *rdd.RDD) time.Duration
+	fr = func(r *rdd.RDD) time.Duration {
+		if v, ok := fromRoot[r.ID]; ok {
+			return v
+		}
+		d, _ := stats(r)
+		best := d
+		for _, p := range narrowUncheckpointedParents(r) {
+			if got := fr(p) + d; got > best {
+				best = got
+			}
+		}
+		fromRoot[r.ID] = best
+		return best
+	}
+
+	// toTrigger: longest path from each ancestor down to trigger,
+	// inclusive on both ends, along chain-extending edges. Computed by
+	// walking up from the trigger.
+	toTrigger := make(map[int]time.Duration)
+	var tt func(r *rdd.RDD, below time.Duration)
+	tt = func(r *rdd.RDD, below time.Duration) {
+		d, _ := stats(r)
+		total := below + d
+		if prev, ok := toTrigger[r.ID]; ok && prev >= total {
+			return
+		}
+		toTrigger[r.ID] = total
+		for _, p := range narrowUncheckpointedParents(r) {
+			tt(p, total)
+		}
+	}
+	if trigger.Checkpointed {
+		return subgraph{}
+	}
+	tt(trigger, 0)
+
+	// Collect nodes on violating paths.
+	inSub := make(map[int]bool)
+	var collect func(r *rdd.RDD)
+	collect = func(r *rdd.RDD) {
+		if inSub[r.ID] {
+			return
+		}
+		d, _ := stats(r)
+		if fr(r)+toTrigger[r.ID]-d <= bound {
+			return
+		}
+		inSub[r.ID] = true
+		nodes = append(nodes, r)
+		for _, p := range narrowUncheckpointedParents(r) {
+			if _, seen := toTrigger[p.ID]; seen {
+				collect(p)
+			}
+		}
+	}
+	collect(trigger)
+	if !inSub[trigger.ID] {
+		return subgraph{}
+	}
+
+	var roots []*rdd.RDD
+	for _, r := range nodes {
+		isRoot := true
+		for _, p := range narrowUncheckpointedParents(r) {
+			if inSub[p.ID] {
+				isRoot = false
+				break
+			}
+		}
+		if isRoot {
+			roots = append(roots, r)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	return subgraph{nodes: nodes, roots: roots}
+}
+
+// EdgePlan is the Tachyon Edge baseline, revised as the paper does: when
+// triggered, checkpoint every current *leaf* RDD — an uncheckpointed RDD no
+// other RDD depends on yet.
+func EdgePlan(all []*rdd.RDD, stats StatsFunc) Plan {
+	if stats == nil {
+		stats = DefaultStats
+	}
+	hasChild := make(map[int]bool)
+	for _, r := range all {
+		for _, d := range r.Deps {
+			hasChild[d.Parent.ID] = true
+		}
+	}
+	var plan Plan
+	for _, r := range all {
+		if r.Checkpointed || hasChild[r.ID] {
+			continue
+		}
+		plan.Select = append(plan.Select, r)
+		_, c := stats(r)
+		plan.TotalCost += c
+	}
+	sort.Slice(plan.Select, func(i, j int) bool { return plan.Select[i].ID < plan.Select[j].ID })
+	return plan
+}

@@ -1,0 +1,373 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stark/internal/partition"
+	"stark/internal/rdd"
+	"stark/internal/record"
+)
+
+func keepAll(record.Record) bool { return true }
+
+// stat attaches (delay, cost) to RDD ids.
+type stat struct {
+	d time.Duration
+	c int64
+}
+
+func statsFromMap(m map[int]stat) StatsFunc {
+	return func(r *rdd.RDD) (time.Duration, int64) {
+		s := m[r.ID]
+		return s.d, s.c
+	}
+}
+
+// chain builds src -> n1 -> n2 ... narrow chain of length n (plus source).
+func chain(g *rdd.Graph, n int) []*rdd.RDD {
+	out := []*rdd.RDD{g.Source("src", nil, false)}
+	for i := 1; i < n; i++ {
+		out = append(out, g.Filter(out[i-1], "f", keepAll))
+	}
+	return out
+}
+
+func TestLongestPathChain(t *testing.T) {
+	g := rdd.NewGraph()
+	nodes := chain(g, 3)
+	st := statsFromMap(map[int]stat{0: {2 * time.Second, 1}, 1: {3 * time.Second, 1}, 2: {4 * time.Second, 1}})
+	if got := LongestPath(nodes[2], st); got != 9*time.Second {
+		t.Fatalf("LongestPath = %v", got)
+	}
+	// Checkpointing the middle node breaks the chain.
+	nodes[1].Checkpointed = true
+	if got := LongestPath(nodes[2], st); got != 4*time.Second {
+		t.Fatalf("LongestPath after checkpoint = %v", got)
+	}
+	if got := LongestPath(nodes[1], st); got != 0 {
+		t.Fatalf("checkpointed node path = %v", got)
+	}
+	if !Violates(nodes[2], 3*time.Second, st) || Violates(nodes[2], 4*time.Second, st) {
+		t.Fatal("Violates wrong")
+	}
+}
+
+func TestShuffleBreaksChain(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", nil, false)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(2))
+	f := g.Filter(pb, "f", keepAll)
+	st := statsFromMap(map[int]stat{src.ID: {10 * time.Second, 1}, pb.ID: {2 * time.Second, 1}, f.ID: {3 * time.Second, 1}})
+	// src's 10s must not count: pb reads persisted map outputs.
+	if got := LongestPath(f, st); got != 5*time.Second {
+		t.Fatalf("LongestPath = %v", got)
+	}
+}
+
+func TestOptimizeSelectsCheapestOnChain(t *testing.T) {
+	g := rdd.NewGraph()
+	nodes := chain(g, 3)
+	// All violate with bound 5: path = 3+3+3 = 9. Costs: 10, 1, 10.
+	st := statsFromMap(map[int]stat{
+		0: {3 * time.Second, 10},
+		1: {3 * time.Second, 1},
+		2: {3 * time.Second, 10},
+	})
+	plan := Optimize(nodes[2], 5*time.Second, 1, st)
+	if len(plan.Select) != 1 || plan.Select[0].ID != 1 || plan.TotalCost != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestOptimizeDiamond(t *testing.T) {
+	// a -> {b, c} -> d (cogroup-like join of two branches). Cutting a is
+	// cheaper than cutting both b and c or expensive d.
+	g := rdd.NewGraph()
+	a := g.Source("a", nil, false)
+	b := g.Filter(a, "b", keepAll)
+	c := g.Filter(a, "c", keepAll)
+	p := partition.NewHash(1)
+	b.Partitioner, c.Partitioner = p, p
+	b.Parts, c.Parts = 1, 1
+	d := g.CoGroup("d", p, b, c)
+	if !d.Narrow() {
+		t.Fatal("test setup: cogroup must be narrow")
+	}
+	st := statsFromMap(map[int]stat{
+		a.ID: {4 * time.Second, 3},
+		b.ID: {4 * time.Second, 10},
+		c.ID: {4 * time.Second, 10},
+		d.ID: {4 * time.Second, 50},
+	})
+	plan := Optimize(d, 10*time.Second, 1, st)
+	if len(plan.Select) != 1 || plan.Select[0].ID != a.ID || plan.TotalCost != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestRelaxationPrefersNearTrigger(t *testing.T) {
+	// Chain with costs 1 (root) ... 2 (near trigger): exact cut picks the
+	// root (cost 1) leaving a long tail; f=3 accepts the near-trigger node
+	// (cost 2 <= 3x flow 1... flow through chain = min cap = 1; cap 2 <= 3*1).
+	g := rdd.NewGraph()
+	nodes := chain(g, 4)
+	st := statsFromMap(map[int]stat{
+		0: {4 * time.Second, 1},
+		1: {4 * time.Second, 5},
+		2: {4 * time.Second, 2},
+		3: {4 * time.Second, 9},
+	})
+	exact := Optimize(nodes[3], 6*time.Second, 1, st)
+	if len(exact.Select) != 1 || exact.Select[0].ID != 0 {
+		t.Fatalf("exact plan = %+v", exact)
+	}
+	relaxed := Optimize(nodes[3], 6*time.Second, 3, st)
+	if len(relaxed.Select) != 1 || relaxed.Select[0].ID != 2 {
+		t.Fatalf("relaxed plan = %+v", relaxed)
+	}
+	if relaxed.TotalCost > 3*exact.TotalCost {
+		t.Fatalf("relaxed cost %d exceeds 3x optimal %d", relaxed.TotalCost, exact.TotalCost)
+	}
+}
+
+func TestOptimizeNoViolation(t *testing.T) {
+	g := rdd.NewGraph()
+	nodes := chain(g, 2)
+	st := statsFromMap(map[int]stat{0: {time.Second, 1}, 1: {time.Second, 1}})
+	if plan := Optimize(nodes[1], 10*time.Second, 1, st); len(plan.Select) != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestOptimizeSingleNodeViolation(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("big", nil, false)
+	st := statsFromMap(map[int]stat{0: {20 * time.Second, 7}})
+	plan := Optimize(src, 10*time.Second, 1, st)
+	if len(plan.Select) != 1 || plan.Select[0].ID != src.ID || plan.TotalCost != 7 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+// TestRepeatedOptimizeConverges drives the trigger loop the engine runs:
+// while the newest RDD violates, plan and apply. It must terminate with the
+// bound satisfied, and every plan must make progress.
+func TestRepeatedOptimizeConverges(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdd.NewGraph()
+		stats := make(map[int]stat)
+		nodes := []*rdd.RDD{g.Source("src", nil, false)}
+		stats[0] = stat{time.Duration(1+rng.Intn(5)) * time.Second, int64(1 + rng.Intn(10))}
+		for i := 1; i < 12; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			n := g.Filter(parent, "f", keepAll)
+			stats[n.ID] = stat{time.Duration(1+rng.Intn(5)) * time.Second, int64(1 + rng.Intn(10))}
+			nodes = append(nodes, n)
+		}
+		st := statsFromMap(stats)
+		trigger := nodes[len(nodes)-1]
+		bound := 8 * time.Second
+		for iter := 0; Violates(trigger, bound, st); iter++ {
+			if iter > 20 {
+				t.Fatalf("seed %d: did not converge", seed)
+			}
+			plan := Optimize(trigger, bound, 1, st)
+			if len(plan.Select) == 0 {
+				t.Fatalf("seed %d: empty plan while violating", seed)
+			}
+			for _, r := range plan.Select {
+				if r.Checkpointed {
+					t.Fatalf("seed %d: plan re-selected checkpointed %v", seed, r)
+				}
+				r.Checkpointed = true
+			}
+		}
+	}
+}
+
+func TestEdgePlanSelectsLeaves(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", nil, false)
+	a := g.Filter(src, "a", keepAll)
+	b := g.Filter(a, "b", keepAll)
+	c := g.Filter(a, "c", keepAll)
+	st := statsFromMap(map[int]stat{src.ID: {0, 1}, a.ID: {0, 2}, b.ID: {0, 4}, c.ID: {0, 8}})
+	plan := EdgePlan(g.RDDs(), st)
+	if len(plan.Select) != 2 || plan.Select[0].ID != b.ID || plan.Select[1].ID != c.ID {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.TotalCost != 12 {
+		t.Fatalf("cost = %d", plan.TotalCost)
+	}
+	// Checkpointed leaves are skipped.
+	b.Checkpointed = true
+	plan = EdgePlan(g.RDDs(), st)
+	if len(plan.Select) != 1 || plan.Select[0].ID != c.ID {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestOptimizeCheaperThanEdge(t *testing.T) {
+	// The Fig. 18 claim in miniature: on a lineage where leaves are huge
+	// but an interior node is tiny, Optimize must beat EdgePlan.
+	g := rdd.NewGraph()
+	src := g.Source("src", nil, false)
+	small := g.Filter(src, "small", keepAll)
+	big := g.Filter(small, "big", keepAll)
+	st := statsFromMap(map[int]stat{
+		src.ID:   {5 * time.Second, 100},
+		small.ID: {5 * time.Second, 1},
+		big.ID:   {5 * time.Second, 1000},
+	})
+	opt := Optimize(big, 8*time.Second, 1, st)
+	edge := EdgePlan(g.RDDs(), st)
+	if opt.TotalCost >= edge.TotalCost {
+		t.Fatalf("optimize cost %d not below edge cost %d", opt.TotalCost, edge.TotalCost)
+	}
+}
+
+func TestDefaultStats(t *testing.T) {
+	g := rdd.NewGraph()
+	r := g.Source("s", nil, false)
+	r.MaxTransformTime = 3 * time.Second
+	r.PartBytes = []int64{5, 6}
+	d, c := DefaultStats(r)
+	if d != 3*time.Second || c != 11 {
+		t.Fatalf("DefaultStats = %v, %d", d, c)
+	}
+}
+
+// TestPaperJallVsAcnt reconstructs the Sec. IV-D narrative: after jall is
+// generated, its recovery chain violates the bound through ccnt, acnt and
+// dec; Tachyon's Edge would checkpoint the (huge) leaf jall, while the
+// optimizer picks the tiny interior acnt instead.
+func TestPaperJallVsAcnt(t *testing.T) {
+	g := rdd.NewGraph()
+	p := partition.NewHash(1)
+	cnt := g.Source("cnt", nil, false)
+	dec := g.Source("dec", nil, false)
+	cnt.Partitioner, dec.Partitioner = p, p
+	cnt.Parts, dec.Parts = 1, 1
+	ccnt := g.CoGroup("ccnt", p, cnt, dec)
+	acnt := g.Filter(ccnt, "acnt", keepAll)
+	cttRes := g.Source("cctt", nil, false)
+	cttRes.Partitioner = p
+	cttRes.Parts = 1
+	jall := g.Join("jall", p, cttRes, acnt)
+
+	st := statsFromMap(map[int]stat{
+		cnt.ID:    {2 * time.Second, 40},
+		dec.ID:    {2 * time.Second, 10},
+		ccnt.ID:   {3 * time.Second, 30},
+		acnt.ID:   {2 * time.Second, 2}, // tiny: the paper's pick
+		cttRes.ID: {1 * time.Second, 500},
+		jall.ID:   {4 * time.Second, 900}, // huge leaf
+	})
+	bound := 8 * time.Second
+	if !Violates(jall, bound, st) {
+		t.Fatal("setup: jall does not violate")
+	}
+	opt := Optimize(jall, bound, 1, st)
+	for _, r := range opt.Select {
+		if r.ID == jall.ID {
+			t.Fatalf("optimizer checkpointed the huge leaf jall: %+v", opt)
+		}
+	}
+	edge := EdgePlan(g.RDDs(), st)
+	edgeHasJall := false
+	for _, r := range edge.Select {
+		if r.ID == jall.ID {
+			edgeHasJall = true
+		}
+	}
+	if !edgeHasJall {
+		t.Fatalf("edge baseline did not checkpoint the leaf jall: %+v", edge)
+	}
+	if opt.TotalCost >= edge.TotalCost {
+		t.Fatalf("optimizer cost %d not below edge cost %d", opt.TotalCost, edge.TotalCost)
+	}
+	// Applying the optimizer's plan restores the bound.
+	for _, r := range opt.Select {
+		r.Checkpointed = true
+	}
+	if Violates(jall, bound, st) {
+		t.Fatal("bound still violated after applying the plan")
+	}
+}
+
+// TestOptimizeCutValidityQuick: on random lineages, every violating
+// root-to-trigger path must contain at least one selected RDD — the
+// defining property of a valid cut, for exact and relaxed plans alike.
+func TestOptimizeCutValidityQuick(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		g := rdd.NewGraph()
+		stats := make(map[int]stat)
+		nodes := []*rdd.RDD{g.Source("src", nil, false)}
+		stats[0] = stat{time.Duration(1+rng.Intn(4)) * time.Second, int64(1 + rng.Intn(20))}
+		for i := 1; i < 14; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			var n *rdd.RDD
+			if rng.Intn(4) == 0 && len(nodes) > 2 {
+				other := nodes[rng.Intn(len(nodes))]
+				p := partition.NewHash(1)
+				parent.Partitioner, other.Partitioner = p, p
+				parent.Parts, other.Parts = 1, 1
+				n = g.CoGroup("cg", p, parent, other)
+			} else {
+				n = g.Filter(parent, "f", keepAll)
+			}
+			stats[n.ID] = stat{time.Duration(1+rng.Intn(4)) * time.Second, int64(1 + rng.Intn(20))}
+			nodes = append(nodes, n)
+		}
+		st := statsFromMap(stats)
+		trigger := nodes[len(nodes)-1]
+		bound := 6 * time.Second
+		if !Violates(trigger, bound, st) {
+			continue
+		}
+		for _, relax := range []float64{1, 2, 4} {
+			plan := Optimize(trigger, bound, relax, st)
+			if len(plan.Select) == 0 {
+				t.Fatalf("seed %d relax %v: empty plan while violating", seed, relax)
+			}
+			selected := map[int]bool{}
+			for _, r := range plan.Select {
+				selected[r.ID] = true
+			}
+			// Enumerate all uncheckpointed narrow paths into the trigger and
+			// verify every violating one is cut.
+			var walk func(r *rdd.RDD, path []*rdd.RDD, length time.Duration)
+			walk = func(r *rdd.RDD, path []*rdd.RDD, length time.Duration) {
+				d, _ := st(r)
+				length += d
+				path = append(path, r)
+				parents := 0
+				for _, dep := range r.Deps {
+					if dep.Shuffle || dep.Parent.Checkpointed {
+						continue
+					}
+					parents++
+					walk(dep.Parent, path, length)
+				}
+				if parents == 0 && length > bound {
+					cut := false
+					for _, n := range path {
+						if selected[n.ID] {
+							cut = true
+							break
+						}
+					}
+					if !cut {
+						t.Fatalf("seed %d relax %v: violating path of %v not cut (plan %v)",
+							seed, relax, length, plan.Select)
+					}
+				}
+			}
+			walk(trigger, nil, 0)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"testing"
+
+	"stark/internal/config"
+)
+
+func BenchmarkBlockStorePutGet(b *testing.B) {
+	s := NewBlockStore(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := BlockID{RDD: i % 64, Partition: i % 16}
+		s.Put(id, nil, 1024)
+		s.Get(id)
+	}
+}
+
+func BenchmarkDirectoryLocations(b *testing.B) {
+	cfg := config.Default()
+	cfg.NumExecutors = 8
+	c := New(cfg)
+	for i := 0; i < 1000; i++ {
+		c.CachePut(i%8, BlockID{RDD: i % 50, Partition: i % 20}, nil, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Locations(BlockID{RDD: i % 50, Partition: i % 20})
+	}
+}

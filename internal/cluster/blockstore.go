@@ -1,0 +1,171 @@
+// Package cluster simulates the worker side of the paper's 50-server
+// testbed: executors with bounded task slots and capacity-bounded LRU block
+// caches, plus a cluster-wide block directory (the BlockManagerMaster
+// analogue). Transformations execute for real on in-process data; this
+// package only decides *where* blocks live and what evictions occur, which
+// is the state the paper's mechanisms manipulate.
+package cluster
+
+import (
+	"container/list"
+	"fmt"
+
+	"stark/internal/record"
+)
+
+// BlockID names one cached partition of one RDD.
+type BlockID struct {
+	RDD       int
+	Partition int
+}
+
+func (b BlockID) String() string { return fmt.Sprintf("rdd%d[%d]", b.RDD, b.Partition) }
+
+type blockEntry struct {
+	id    BlockID
+	data  []record.Record
+	bytes int64
+	elem  *list.Element
+}
+
+// BlockStore is a per-executor LRU cache of partition blocks, measured in
+// simulated bytes.
+type BlockStore struct {
+	capacity int64
+	used     int64
+	blocks   map[BlockID]*blockEntry
+	lru      list.List // front = most recently used
+}
+
+// NewBlockStore returns a store with the given capacity in simulated bytes.
+func NewBlockStore(capacity int64) *BlockStore {
+	return &BlockStore{capacity: capacity, blocks: make(map[BlockID]*blockEntry)}
+}
+
+// Capacity reports the configured capacity.
+func (s *BlockStore) Capacity() int64 { return s.capacity }
+
+// Used reports the bytes currently cached.
+func (s *BlockStore) Used() int64 { return s.used }
+
+// Pressure reports Used/Capacity in [0, 1].
+func (s *BlockStore) Pressure() float64 {
+	if s.capacity <= 0 {
+		return 1
+	}
+	p := float64(s.used) / float64(s.capacity)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Len reports the number of cached blocks.
+func (s *BlockStore) Len() int { return len(s.blocks) }
+
+// Contains reports whether the block is cached, without touching LRU order.
+func (s *BlockStore) Contains(id BlockID) bool {
+	_, ok := s.blocks[id]
+	return ok
+}
+
+// Get returns the cached data and marks the block most recently used.
+func (s *BlockStore) Get(id BlockID) ([]record.Record, bool) {
+	e, ok := s.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	return e.data, true
+}
+
+// BytesOf reports the cached size of a block.
+func (s *BlockStore) BytesOf(id BlockID) (int64, bool) {
+	e, ok := s.blocks[id]
+	if !ok {
+		return 0, false
+	}
+	return e.bytes, true
+}
+
+// Put caches a block, evicting least-recently-used blocks as needed, and
+// returns the evicted ids. A block larger than the whole capacity is not
+// cached (ok = false), matching Spark's refusal to cache oversized
+// partitions rather than thrash.
+func (s *BlockStore) Put(id BlockID, data []record.Record, bytes int64) (evicted []BlockID, ok bool) {
+	if bytes > s.capacity {
+		return nil, false
+	}
+	if e, exists := s.blocks[id]; exists {
+		s.used -= e.bytes
+		e.data, e.bytes = data, bytes
+		s.used += bytes
+		s.lru.MoveToFront(e.elem)
+		evicted = s.evictOver(id)
+		return evicted, true
+	}
+	e := &blockEntry{id: id, data: data, bytes: bytes}
+	e.elem = s.lru.PushFront(e)
+	s.blocks[id] = e
+	s.used += bytes
+	evicted = s.evictOver(id)
+	return evicted, true
+}
+
+// evictOver evicts LRU blocks (never the one named keep) until under
+// capacity.
+func (s *BlockStore) evictOver(keep BlockID) []BlockID {
+	var evicted []BlockID
+	for s.used > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*blockEntry)
+		if e.id == keep {
+			// The protected block is the only one left; nothing to evict.
+			if s.lru.Len() == 1 {
+				break
+			}
+			s.lru.MoveToFront(back)
+			continue
+		}
+		s.removeEntry(e)
+		evicted = append(evicted, e.id)
+	}
+	return evicted
+}
+
+// Remove drops a block if present, reporting whether it was cached.
+func (s *BlockStore) Remove(id BlockID) bool {
+	e, ok := s.blocks[id]
+	if !ok {
+		return false
+	}
+	s.removeEntry(e)
+	return true
+}
+
+func (s *BlockStore) removeEntry(e *blockEntry) {
+	s.lru.Remove(e.elem)
+	delete(s.blocks, e.id)
+	s.used -= e.bytes
+}
+
+// Blocks returns the cached block ids, most recently used first.
+func (s *BlockStore) Blocks() []BlockID {
+	out := make([]BlockID, 0, len(s.blocks))
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*blockEntry).id)
+	}
+	return out
+}
+
+// Clear drops every block (executor failure).
+func (s *BlockStore) Clear() []BlockID {
+	ids := s.Blocks()
+	s.blocks = make(map[BlockID]*blockEntry)
+	s.lru.Init()
+	s.used = 0
+	return ids
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+
+	"stark/internal/config"
+	"stark/internal/record"
+)
+
+// Executor is one simulated worker process: task slots plus a block cache.
+type Executor struct {
+	ID    int
+	Slots int
+	Store *BlockStore
+
+	busy int
+	dead bool
+}
+
+// FreeSlots reports currently available slots (0 when dead).
+func (e *Executor) FreeSlots() int {
+	if e.dead {
+		return 0
+	}
+	return e.Slots - e.busy
+}
+
+// Busy reports occupied slots.
+func (e *Executor) Busy() int { return e.busy }
+
+// Dead reports whether the executor has been failed.
+func (e *Executor) Dead() bool { return e.dead }
+
+// Acquire takes one slot; it panics if none are free, because the scheduler
+// must only assign to free slots.
+func (e *Executor) Acquire() {
+	if e.FreeSlots() <= 0 {
+		panic(fmt.Sprintf("cluster: executor %d has no free slot", e.ID))
+	}
+	e.busy++
+}
+
+// Release frees one slot; it panics on release without acquire.
+func (e *Executor) Release() {
+	if e.busy <= 0 {
+		panic(fmt.Sprintf("cluster: executor %d release without acquire", e.ID))
+	}
+	e.busy--
+}
+
+// Cluster is the set of executors plus the block directory mapping each
+// cached block to the executors holding a replica.
+type Cluster struct {
+	Cfg       config.Cluster
+	executors []*Executor
+	directory map[BlockID]map[int]bool
+}
+
+// New builds a cluster per the configuration.
+func New(cfg config.Cluster) *Cluster {
+	c := &Cluster{
+		Cfg:       cfg,
+		directory: make(map[BlockID]map[int]bool),
+	}
+	for i := 0; i < cfg.NumExecutors; i++ {
+		c.executors = append(c.executors, &Executor{
+			ID:    i,
+			Slots: cfg.SlotsPerExecutor,
+			Store: NewBlockStore(cfg.MemoryPerExecutor),
+		})
+	}
+	return c
+}
+
+// NumExecutors reports the executor count (including dead ones).
+func (c *Cluster) NumExecutors() int { return len(c.executors) }
+
+// Executor returns the executor with the given id.
+func (c *Cluster) Executor(id int) *Executor {
+	return c.executors[id]
+}
+
+// Executors returns all executors in id order.
+func (c *Cluster) Executors() []*Executor { return c.executors }
+
+// AliveExecutors returns the ids of live executors.
+func (c *Cluster) AliveExecutors() []int {
+	var out []int
+	for _, e := range c.executors {
+		if !e.dead {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// TotalSlots reports the number of slots across live executors.
+func (c *Cluster) TotalSlots() int {
+	n := 0
+	for _, e := range c.executors {
+		if !e.dead {
+			n += e.Slots
+		}
+	}
+	return n
+}
+
+// CachePut stores a block on an executor and updates the directory,
+// returning the evicted block ids (already removed from the directory).
+func (c *Cluster) CachePut(exec int, id BlockID, data []record.Record, bytes int64) []BlockID {
+	e := c.executors[exec]
+	if e.dead {
+		return nil
+	}
+	evicted, ok := e.Store.Put(id, data, bytes)
+	for _, ev := range evicted {
+		c.dropLocation(ev, exec)
+	}
+	if ok {
+		locs, present := c.directory[id]
+		if !present {
+			locs = make(map[int]bool)
+			c.directory[id] = locs
+		}
+		locs[exec] = true
+	}
+	return evicted
+}
+
+// CacheGet reads a block from one executor's cache.
+func (c *Cluster) CacheGet(exec int, id BlockID) ([]record.Record, bool) {
+	e := c.executors[exec]
+	if e.dead {
+		return nil, false
+	}
+	return e.Store.Get(id)
+}
+
+// CacheHas reports whether an executor holds a block.
+func (c *Cluster) CacheHas(exec int, id BlockID) bool {
+	e := c.executors[exec]
+	return !e.dead && e.Store.Contains(id)
+}
+
+// Locations returns the executor ids caching a block, ascending.
+func (c *Cluster) Locations(id BlockID) []int {
+	locs := c.directory[id]
+	if len(locs) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(locs))
+	for i := range locs {
+		out = append(out, i)
+	}
+	// Insertion sort: location sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DropBlock removes a block replica from an executor (cache invalidation or
+// de-replication).
+func (c *Cluster) DropBlock(exec int, id BlockID) {
+	if c.executors[exec].Store.Remove(id) {
+		c.dropLocation(id, exec)
+	}
+}
+
+func (c *Cluster) dropLocation(id BlockID, exec int) {
+	if locs, ok := c.directory[id]; ok {
+		delete(locs, exec)
+		if len(locs) == 0 {
+			delete(c.directory, id)
+		}
+	}
+}
+
+// Kill fails an executor: all cached blocks vanish, slots become
+// unavailable. Running tasks are the scheduler's problem. Killing a dead
+// executor is a no-op.
+func (c *Cluster) Kill(exec int) {
+	e := c.executors[exec]
+	if e.dead {
+		return
+	}
+	e.dead = true
+	for _, id := range e.Store.Clear() {
+		c.dropLocation(id, exec)
+	}
+	e.busy = 0
+}
+
+// Restart revives a dead executor with an empty cache.
+func (c *Cluster) Restart(exec int) {
+	e := c.executors[exec]
+	e.dead = false
+	e.busy = 0
+}
+
+// CheckConsistency verifies the directory against the executors' stores:
+// every directory entry must point at executors that actually hold the
+// block, and every cached block must be in the directory. It returns the
+// first violation found, or nil; tests call it after churn.
+func (c *Cluster) CheckConsistency() error {
+	for id, locs := range c.directory {
+		if len(locs) == 0 {
+			return fmt.Errorf("cluster: %v has an empty directory entry", id)
+		}
+		for exec := range locs {
+			e := c.executors[exec]
+			if e.dead {
+				return fmt.Errorf("cluster: %v listed on dead executor %d", id, exec)
+			}
+			if !e.Store.Contains(id) {
+				return fmt.Errorf("cluster: %v listed on executor %d but not cached there", id, exec)
+			}
+		}
+	}
+	for _, e := range c.executors {
+		if e.dead {
+			if e.Store.Len() != 0 {
+				return fmt.Errorf("cluster: dead executor %d still holds %d blocks", e.ID, e.Store.Len())
+			}
+			continue
+		}
+		for _, id := range e.Store.Blocks() {
+			if !c.directory[id][e.ID] {
+				return fmt.Errorf("cluster: executor %d holds %v missing from directory", e.ID, id)
+			}
+		}
+		if e.busy < 0 || e.busy > e.Slots {
+			return fmt.Errorf("cluster: executor %d busy=%d of %d slots", e.ID, e.busy, e.Slots)
+		}
+	}
+	return nil
+}
+
+// UniqueRDDsCached reports how many distinct RDDs have at least one block in
+// the executor's cache; the MCF scheduler uses a namespace-aware variant via
+// the provided key function: blocks mapping to the same key count once, and
+// blocks with key "" are ignored.
+func (c *Cluster) UniqueKeysCached(exec int, keyOf func(BlockID) string) int {
+	e := c.executors[exec]
+	if e.dead {
+		return 0
+	}
+	seen := make(map[string]bool)
+	for _, id := range e.Store.Blocks() {
+		k := keyOf(id)
+		if k != "" {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}

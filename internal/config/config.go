@@ -1,0 +1,164 @@
+// Package config holds the simulated-cluster cost model and the Stark
+// feature switches. The defaults approximate the paper's testbed — Dell
+// R620 servers with 16 GB RAM on gigabit Ethernet running Spark 1.3.1 — and
+// are the calibration surface for reproducing the evaluation's shapes.
+package config
+
+import (
+	"math"
+	"time"
+)
+
+// GC models garbage-collection overhead as a function of executor memory
+// pressure. Task compute time is multiplied by (1 + Factor(pressure)):
+// below Knee the overhead is the flat Base fraction; above it the overhead
+// grows polynomially toward Max at full memory. This reproduces the paper's
+// Fig. 12 observation that cogrouping six RDDs "consumes an excessive
+// amount of RAM, which leads to more frequent and expensive garbage
+// collections".
+type GC struct {
+	Base  float64 // overhead fraction at low pressure
+	Knee  float64 // pressure where growth starts, in [0,1)
+	Max   float64 // overhead fraction at pressure 1.0
+	Power float64 // growth exponent beyond the knee
+}
+
+// Factor returns the GC overhead fraction at the given memory pressure
+// (used bytes / capacity, clamped to [0, 1]).
+func (g GC) Factor(pressure float64) float64 {
+	if pressure < 0 {
+		pressure = 0
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	if pressure <= g.Knee {
+		return g.Base
+	}
+	x := (pressure - g.Knee) / (1 - g.Knee)
+	return g.Base + (g.Max-g.Base)*math.Pow(x, g.Power)
+}
+
+// Cluster configures the simulated cluster and its cost model. All byte
+// quantities are *simulated* bytes: real in-process record sizes are
+// multiplied by SizeScale so that modest record counts stand in for the
+// paper's hundreds of megabytes per dataset.
+type Cluster struct {
+	NumExecutors      int
+	SlotsPerExecutor  int
+	MemoryPerExecutor int64 // simulated bytes of block-cache capacity
+
+	DiskBandwidth int64 // bytes/s sequential
+	DiskLatency   time.Duration
+	NetBandwidth  int64 // bytes/s per flow
+	NetLatency    time.Duration
+
+	// ComputeBandwidth is the per-slot processing rate, in bytes/s, for a
+	// transformation with cost factor 1.0 (a simple map/filter pass).
+	ComputeBandwidth int64
+
+	// TaskOverhead is the fixed scheduling + launch + result-report cost
+	// charged per task; it produces the right side of the Fig. 7 U-shape.
+	TaskOverhead time.Duration
+
+	// GroupPartitionOverhead is the extra cost a GroupResultTask /
+	// GroupShuffleMapTask pays per member partition (iterator setup and
+	// group bookkeeping). It is well below TaskOverhead — grouping exists
+	// to cut scheduling cost — but makes grouping slightly hurt when the
+	// workload is static and light (paper Fig. 19's Stark-E curve).
+	GroupPartitionOverhead time.Duration
+
+	GC GC
+
+	// SizeScale converts real in-process bytes to simulated bytes.
+	SizeScale float64
+}
+
+// Default returns the calibrated baseline cluster: 8 workers of 16 GB, the
+// size used by the co-locality experiments; throughput experiments override
+// NumExecutors to 40.
+func Default() Cluster {
+	return Cluster{
+		NumExecutors:           8,
+		SlotsPerExecutor:       4,
+		MemoryPerExecutor:      16 << 30,
+		DiskBandwidth:          150 << 20,
+		DiskLatency:            4 * time.Millisecond,
+		NetBandwidth:           110 << 20,
+		NetLatency:             500 * time.Microsecond,
+		ComputeBandwidth:       400 << 20,
+		TaskOverhead:           8 * time.Millisecond,
+		GroupPartitionOverhead: 3 * time.Millisecond,
+		GC:                     GC{Base: 0.05, Knee: 0.55, Max: 4.0, Power: 3},
+		SizeScale:              1.0,
+	}
+}
+
+// Scheduler configures task scheduling policy.
+type Scheduler struct {
+	// LocalityWait is the delay-scheduling bound: how long a task set waits
+	// for a data-local slot before accepting a remote one
+	// (spark.locality.wait; default 3 s in Spark 1.3).
+	LocalityWait time.Duration
+	// MCF enables Minimum-Contention-First ordering of remote offers
+	// (paper Algorithm 1).
+	MCF bool
+}
+
+// DefaultScheduler mirrors Spark 1.3 defaults.
+func DefaultScheduler() Scheduler {
+	return Scheduler{LocalityWait: 3 * time.Second}
+}
+
+// Features selects which Stark mechanisms are active, defining the paper's
+// evaluated configurations (Sec. IV-A).
+type Features struct {
+	// CoLocality enables the LocalityManager: collection partitions of a
+	// namespace map to fixed preferred executors.
+	CoLocality bool
+	// Extendable enables the GroupManager: group tasks plus threshold
+	// split/merge elasticity.
+	Extendable bool
+	// MCF enables contention-aware remote scheduling.
+	MCF bool
+}
+
+// ScaleBytes converts real bytes to simulated bytes.
+func (c Cluster) ScaleBytes(realBytes int64) int64 {
+	if c.SizeScale == 1.0 || c.SizeScale == 0 {
+		return realBytes
+	}
+	return int64(float64(realBytes) * c.SizeScale)
+}
+
+// ComputeTime is the slot time to process the given simulated bytes at the
+// given cost factor.
+func (c Cluster) ComputeTime(bytes int64, factor float64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	sec := float64(bytes) * factor / float64(c.ComputeBandwidth)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DiskReadTime is the time to sequentially read bytes from local disk.
+func (c Cluster) DiskReadTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return c.DiskLatency + time.Duration(float64(bytes)/float64(c.DiskBandwidth)*float64(time.Second))
+}
+
+// DiskWriteTime is the time to sequentially write bytes to local disk.
+func (c Cluster) DiskWriteTime(bytes int64) time.Duration {
+	// Writes and reads share bandwidth in this model.
+	return c.DiskReadTime(bytes)
+}
+
+// NetTime is the time to move bytes across the network in one flow.
+func (c Cluster) NetTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return c.NetLatency + time.Duration(float64(bytes)/float64(c.NetBandwidth)*float64(time.Second))
+}

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"stark/internal/partition"
+	"stark/internal/record"
+)
+
+// BenchmarkEngineJob measures the full driver path: stage build, schedule,
+// data plane, completion — one shuffle job per iteration.
+func BenchmarkEngineJob(b *testing.B) {
+	e := New(testConfig())
+	g := e.Graph()
+	src := g.Source("src", dataset(1000, 8), false)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(8))
+	if _, _, err := e.Count(pb); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := g.Filter(pb, "f", func(r record.Record) bool { return true })
+		if _, _, err := e.Count(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine100kTasks pins the scheduler's fast path: a 20k-partition
+// shuffle (40k tasks) must stay near linear.
+func BenchmarkEngine100kTasks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig()
+		cfg.Cluster.NumExecutors = 8
+		cfg.Cluster.SlotsPerExecutor = 4
+		e := New(cfg)
+		g := e.Graph()
+		src := g.Source("src", dataset(20000, 64), false)
+		pb := g.PartitionBy(src, "pb", partition.NewHash(20000))
+		if _, _, err := e.Count(pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

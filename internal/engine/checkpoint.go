@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"time"
+
+	"stark/internal/checkpoint"
+	"stark/internal/rdd"
+)
+
+// checkpointStats supplies (d, c) for the optimizer: recovery delay is the
+// maximum observed transform time, cost is the serialized size.
+func (e *Engine) checkpointStats(r *rdd.RDD) (time.Duration, int64) {
+	c := int64(float64(r.TotalBytes()) * e.cfg.Checkpoint.SerializationRatio)
+	return r.MaxTransformTime, c
+}
+
+// maybeCheckpoint runs the configured checkpointing algorithm after a job
+// completes, using the job's final RDD as the trigger (paper Sec. III-D:
+// "Stark keeps track of all uncheckpointed RDDs, and triggers the
+// checkpoint algorithm whenever the length of any path grows beyond the
+// user defined failure recovery delay upper bound").
+func (e *Engine) maybeCheckpoint(final *rdd.RDD) {
+	cc := e.cfg.Checkpoint
+	if cc.Mode == CheckpointOff {
+		return
+	}
+	if !checkpoint.Violates(final, cc.Bound, e.checkpointStats) {
+		return
+	}
+	var plan checkpoint.Plan
+	switch cc.Mode {
+	case CheckpointOptimal:
+		plan = checkpoint.Optimize(final, cc.Bound, cc.Relax, e.checkpointStats)
+	case CheckpointEdge:
+		plan = checkpoint.EdgePlan(e.graph.RDDs(), e.checkpointStats)
+	}
+	for _, r := range plan.Select {
+		e.ForceCheckpoint(r)
+	}
+}
+
+// ForceCheckpoint persists every partition of an already-materialized RDD
+// (the paper's RDD.forceCheckpoint API, which lifts Spark's restriction
+// that checkpointing be requested before materialization). RDDs that were
+// never materialized are skipped.
+func (e *Engine) ForceCheckpoint(r *rdd.RDD) {
+	if r.Checkpointed || r.PartBytes == nil {
+		return
+	}
+	ratio := e.cfg.Checkpoint.SerializationRatio
+	for p := 0; p < r.Parts; p++ {
+		exec := e.partitionHome(r, p)
+		acc := &costAcc{} // checkpoint IO runs on a background thread
+		data := e.materialize(r, p, exec, acc)
+		cpBytes := int64(float64(r.PartBytes[p]) * ratio)
+		e.store.WriteCheckpoint(r.ID, p, data, cpBytes)
+	}
+	r.Checkpointed = true
+	e.trace("checkpoint", -1, -1, -1, -1, r.String())
+}
+
+// partitionHome picks the executor best placed to produce a partition: a
+// cache holder first, the namespace primary second, any live executor last.
+func (e *Engine) partitionHome(r *rdd.RDD, p int) int {
+	for _, chain := range []*rdd.RDD{r} {
+		locs := e.filterAlive(e.cl.Locations(blockID(chain.ID, p)))
+		if len(locs) > 0 {
+			return locs[0]
+		}
+	}
+	if ns := e.activeNamespace(r); ns != "" {
+		unit := p
+		if e.cfg.Features.Extendable && e.grp.Registered(ns) {
+			if g, err := e.grp.GroupOf(ns, p); err == nil {
+				unit = g.ID
+			}
+		}
+		if primary, ok := e.loc.Primary(ns, unit); ok && !e.cl.Executor(primary).Dead() {
+			return primary
+		}
+	}
+	alive := e.cl.AliveExecutors()
+	if len(alive) == 0 {
+		panic("engine: no live executors to checkpoint on")
+	}
+	return alive[p%len(alive)]
+}

@@ -1,0 +1,568 @@
+// Package engine is the driver of the simulated in-memory computing
+// system: it submits jobs over the lineage graph, cuts them into stages,
+// schedules tasks onto simulated executors with delay scheduling (plus
+// Stark's co-locality, group tasks, and MCF when enabled), executes the
+// transformations on real in-process data, charges virtual time through the
+// cost model, and handles failure recovery and checkpointing.
+//
+// The engine is single-threaded and discrete-event driven: all activity
+// happens inside vtime.Loop callbacks, so runs are deterministic.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stark/internal/cluster"
+	"stark/internal/config"
+	"stark/internal/group"
+	"stark/internal/locality"
+	"stark/internal/metrics"
+	"stark/internal/rdd"
+	"stark/internal/record"
+	"stark/internal/replication"
+	"stark/internal/sched"
+	"stark/internal/storage"
+	"stark/internal/vtime"
+)
+
+// Action selects what a job does with its final RDD.
+type Action int
+
+// Job actions.
+const (
+	ActionCount Action = iota + 1
+	ActionCollect
+	// ActionMaterialize computes (and caches, if requested) every partition
+	// without returning data — the engine's foreach/cache primitive.
+	ActionMaterialize
+)
+
+// CheckpointMode selects the checkpointing algorithm.
+type CheckpointMode int
+
+// Checkpointing algorithms.
+const (
+	CheckpointOff CheckpointMode = iota
+	// CheckpointOptimal is Stark's min-cut optimizer (f = Relax).
+	CheckpointOptimal
+	// CheckpointEdge is the revised Tachyon Edge baseline.
+	CheckpointEdge
+)
+
+// CheckpointConfig configures proactive checkpointing.
+type CheckpointConfig struct {
+	Mode  CheckpointMode
+	Bound time.Duration // recovery delay bound r
+	Relax float64       // cost relaxation f >= 1
+	// SerializationRatio converts cached bytes to checkpoint bytes
+	// (Fig. 17's constant factor).
+	SerializationRatio float64
+}
+
+// Config assembles all engine configuration.
+type Config struct {
+	Cluster    config.Cluster
+	Sched      config.Scheduler
+	Features   config.Features
+	Groups     group.Config
+	Checkpoint CheckpointConfig
+	// Replication bounds contention-aware replication of collection units.
+	Replication replication.Config
+	// Seed drives the scheduler's randomized remote offers; runs with equal
+	// seeds are bit-identical.
+	Seed int64
+}
+
+// DefaultConfig mirrors stock Spark: no Stark features enabled.
+func DefaultConfig() Config {
+	return Config{
+		Cluster: config.Default(),
+		Sched:   config.DefaultScheduler(),
+		Groups:  group.DefaultConfig(),
+		Checkpoint: CheckpointConfig{
+			Mode:               CheckpointOff,
+			Bound:              60 * time.Second,
+			Relax:              1,
+			SerializationRatio: 0.4,
+		},
+		Replication: replication.Config{
+			// One remote launch is enough evidence to adopt a replica, like
+			// stock delay scheduling's incidental replication, but bounded.
+			MaxReplicas:      6,
+			HalfLife:         30 * time.Second,
+			DemandPerReplica: 2,
+		},
+	}
+}
+
+// JobResult is what an action returns.
+type JobResult struct {
+	JobID int
+	// Count is the record count for ActionCount.
+	Count int64
+	// Partitions holds per-partition records for ActionCollect.
+	Partitions [][]record.Record
+	// Metrics is the job's timing record.
+	Metrics metrics.JobMetrics
+}
+
+// Engine is the driver. Create with New; methods must be called from a
+// single goroutine (event callbacks included).
+type Engine struct {
+	cfg   Config
+	loop  *vtime.Loop
+	cl    *cluster.Cluster
+	store *storage.Store
+	graph *rdd.Graph
+	loc   *locality.Manager
+	grp   *group.Manager
+	repl  *replication.Policy
+
+	// nsRDDs lists RDDs per namespace, for eviction bookkeeping.
+	nsRDDs map[string][]*rdd.RDD
+	// nsGeometry remembers per-namespace partition counts.
+	nsParts map[string]int
+
+	jobSeq  int
+	taskSeq int
+
+	// prefPending holds tasks that currently have a concrete locality
+	// preference (namespace tasks, and tasks with a cached chain block for
+	// their partition); it is scanned every round and must stay small.
+	// plainPending tasks launch remotely, strictly FIFO from plainHead, so
+	// scheduling stays O(launches) even with 10^5-task stages. A plain task
+	// whose chain block gets cached is promoted via wakeIndex.
+	prefPending  []*task
+	plainPending []*task
+	plainHead    int
+	// unarmed counts prefPending tasks without a locality-wait timer yet.
+	unarmed   int
+	wakeIndex map[cluster.BlockID][]*task
+	running   map[int]*task // by task id
+
+	// shuffleRunning marks shuffles whose map stage is currently executing;
+	// shuffleWaiters holds stage runs blocked on them.
+	shuffleRunning map[int]bool
+	shuffleWaiters map[int][]*stageRun
+
+	completed []metrics.JobMetrics
+	stats     Stats
+	rng       *rand.Rand
+	tracer    func(TraceEvent)
+}
+
+// New builds an engine and its simulated cluster.
+func New(cfg Config) *Engine {
+	if cfg.Checkpoint.Relax < 1 {
+		cfg.Checkpoint.Relax = 1
+	}
+	if cfg.Checkpoint.SerializationRatio <= 0 {
+		cfg.Checkpoint.SerializationRatio = 0.4
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Engine{
+		cfg:            cfg,
+		loop:           vtime.NewLoop(),
+		cl:             cluster.New(cfg.Cluster),
+		store:          storage.NewStore(),
+		graph:          rdd.NewGraph(),
+		loc:            locality.NewManager(),
+		grp:            group.NewManager(cfg.Groups),
+		repl:           replication.NewPolicy(cfg.Replication),
+		nsRDDs:         make(map[string][]*rdd.RDD),
+		nsParts:        make(map[string]int),
+		running:        make(map[int]*task),
+		shuffleRunning: make(map[int]bool),
+		shuffleWaiters: make(map[int][]*stageRun),
+		wakeIndex:      make(map[cluster.BlockID][]*task),
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Loop exposes the virtual clock (for scheduling streaming input).
+func (e *Engine) Loop() *vtime.Loop { return e.loop }
+
+// Graph exposes the lineage graph builder.
+func (e *Engine) Graph() *rdd.Graph { return e.graph }
+
+// Cluster exposes the simulated cluster (for tests and failure injection).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Store exposes the persistent store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Locality exposes the LocalityManager.
+func (e *Engine) Locality() *locality.Manager { return e.loc }
+
+// Groups exposes the GroupManager.
+func (e *Engine) Groups() *group.Manager { return e.grp }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// CompletedJobs returns metrics for every finished job, in completion
+// order.
+func (e *Engine) CompletedJobs() []metrics.JobMetrics { return e.completed }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.loop.Now() }
+
+type job struct {
+	id        int
+	final     *rdd.RDD
+	action    Action
+	submitted time.Duration
+	stages    []*stageRun // parents before children (sched.AllStages order)
+	resultSR  *stageRun
+	count     int64
+	parts     [][]record.Record
+	tasks     []metrics.TaskMetrics
+	done      bool
+	cb        func(JobResult)
+}
+
+type stageRun struct {
+	st        *sched.Stage
+	job       *job
+	remaining int
+	started   bool
+}
+
+type task struct {
+	id         int
+	sr         *stageRun
+	partitions []int
+	ns         string
+	unit       int // collection unit (partition or group id); -1 when none
+	group      bool
+	prefCap    bool
+	promoted   bool
+	// counted marks tasks included in the engine's unarmed-timer counter.
+	counted   bool
+	submitted time.Duration
+	waitArmed bool
+	aborted   bool
+	exec      int
+	tm        metrics.TaskMetrics
+
+	// Action results accumulate here during the data plane and are applied
+	// to the job only at completion, so aborted tasks leave no trace.
+	count     int64
+	collected map[int][]record.Record
+}
+
+// SubmitJob enqueues an action on final at the current virtual time; cb
+// fires on completion. Use RunJob for the synchronous version.
+func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) int {
+	j := &job{
+		id:        e.jobSeq,
+		final:     final,
+		action:    action,
+		submitted: e.loop.Now(),
+		parts:     make([][]record.Record, final.Parts),
+		cb:        cb,
+	}
+	e.jobSeq++
+	result := sched.Build(final)
+	for _, st := range sched.AllStages(result) {
+		sr := &stageRun{st: st, job: j}
+		j.stages = append(j.stages, sr)
+		if !st.ShuffleMap {
+			j.resultSR = sr
+		}
+	}
+	e.trace("job-submit", j.id, -1, -1, -1, fmt.Sprintf("final=%s action=%d stages=%d", final.Name, action, len(j.stages)))
+	for _, sr := range j.stages {
+		e.maybeStartStage(sr)
+	}
+	e.schedule()
+	return j.id
+}
+
+// SubmitJobAt schedules a job submission at a future virtual time.
+func (e *Engine) SubmitJobAt(at time.Duration, final *rdd.RDD, action Action, cb func(JobResult)) {
+	e.loop.At(at, func() { e.SubmitJob(final, action, cb) })
+}
+
+// RunJob submits the job and drives the event loop until it completes.
+// Other pending work (earlier jobs, streaming events) advances as a side
+// effect, exactly as a blocking action on a busy driver would.
+func (e *Engine) RunJob(final *rdd.RDD, action Action) (JobResult, error) {
+	var res JobResult
+	done := false
+	e.SubmitJob(final, action, func(r JobResult) {
+		res = r
+		done = true
+	})
+	for !done {
+		if !e.loop.Step() {
+			return JobResult{}, fmt.Errorf("engine: job on %s cannot complete (no runnable executors?)", final)
+		}
+	}
+	return res, nil
+}
+
+// Count runs a count action synchronously.
+func (e *Engine) Count(final *rdd.RDD) (int64, metrics.JobMetrics, error) {
+	res, err := e.RunJob(final, ActionCount)
+	return res.Count, res.Metrics, err
+}
+
+// Collect runs a collect action synchronously and flattens the partitions.
+func (e *Engine) Collect(final *rdd.RDD) ([]record.Record, metrics.JobMetrics, error) {
+	res, err := e.RunJob(final, ActionCollect)
+	if err != nil {
+		return nil, metrics.JobMetrics{}, err
+	}
+	var out []record.Record
+	for _, p := range res.Partitions {
+		out = append(out, p...)
+	}
+	return out, res.Metrics, nil
+}
+
+// Materialize computes (and caches, per CacheFlag) the RDD synchronously.
+func (e *Engine) Materialize(final *rdd.RDD) (metrics.JobMetrics, error) {
+	res, err := e.RunJob(final, ActionMaterialize)
+	return res.Metrics, err
+}
+
+// maybeStartStage enqueues the stage's tasks when all its parent shuffles
+// are complete, deduplicating concurrently running shuffle-map stages
+// across jobs.
+func (e *Engine) maybeStartStage(sr *stageRun) {
+	if sr.started {
+		return
+	}
+	for _, p := range sr.st.Parents {
+		if !e.store.ShuffleComplete(p.ShuffleID) {
+			return
+		}
+	}
+	if sr.st.ShuffleMap {
+		if e.store.ShuffleComplete(sr.st.ShuffleID) {
+			// Outputs persist from an earlier job: skip the stage wholesale.
+			sr.started = true
+			sr.remaining = 0
+			e.onStageComplete(sr)
+			return
+		}
+		if e.shuffleRunning[sr.st.ShuffleID] {
+			e.shuffleWaiters[sr.st.ShuffleID] = append(e.shuffleWaiters[sr.st.ShuffleID], sr)
+			return
+		}
+		e.shuffleRunning[sr.st.ShuffleID] = true
+		if err := e.store.RegisterShuffle(sr.st.ShuffleID, sr.st.Output.Parts, sr.st.Consumer.Parts); err != nil {
+			panic(err) // geometry conflicts are engine bugs
+		}
+	}
+	sr.started = true
+	e.trace("stage-start", sr.job.id, sr.st.ID, -1, -1, fmt.Sprintf("output=%s shuffleMap=%v", sr.st.Output.Name, sr.st.ShuffleMap))
+	e.enqueueTasks(sr)
+}
+
+// enqueueTasks builds the stage's tasks — group tasks when the output RDD
+// belongs to an extendable namespace, per-partition tasks otherwise.
+func (e *Engine) enqueueTasks(sr *stageRun) {
+	out := sr.st.Output
+	ns := e.activeNamespace(out)
+	specs := e.taskSpecs(out, ns)
+	sr.remaining = len(specs)
+	if len(specs) == 0 {
+		e.onStageComplete(sr)
+		return
+	}
+	// A task without a namespace can only become NODE_LOCAL through cached
+	// blocks of its narrow chain; if nothing in the chain is cacheable it
+	// goes straight to the fast FIFO queue.
+	prefCap := ns != ""
+	if !prefCap {
+		for _, r := range sr.st.NarrowChain() {
+			if r.CacheFlag {
+				prefCap = true
+				break
+			}
+		}
+	}
+	for _, sp := range specs {
+		t := &task{
+			id:         e.taskSeq,
+			sr:         sr,
+			partitions: sp.partitions,
+			ns:         sp.ns,
+			unit:       sp.unit,
+			group:      sp.group,
+			prefCap:    prefCap,
+			submitted:  e.loop.Now(),
+		}
+		e.taskSeq++
+		t.tm = metrics.TaskMetrics{
+			JobID:     sr.job.id,
+			StageID:   sr.st.ID,
+			TaskID:    t.id,
+			Submitted: t.submitted,
+		}
+		e.enqueue(t)
+	}
+}
+
+// enqueue routes a task: namespace tasks and tasks with an already-cached
+// chain block go to the scanned preference queue; the rest go to the plain
+// FIFO, with wake registrations so a later cache fill promotes them.
+func (e *Engine) enqueue(t *task) {
+	if t.ns != "" {
+		e.prefPending = append(e.prefPending, t)
+		t.counted = true
+		e.unarmed++
+		return
+	}
+	if t.prefCap {
+		chain := t.sr.st.NarrowChain()
+		for _, r := range chain {
+			if !r.CacheFlag && !r.Checkpointed {
+				continue
+			}
+			for _, p := range t.partitions {
+				if len(e.cl.Locations(cluster.BlockID{RDD: r.ID, Partition: p})) > 0 {
+					e.prefPending = append(e.prefPending, t)
+					t.counted = true
+					e.unarmed++
+					return
+				}
+			}
+		}
+		for _, r := range chain {
+			if !r.CacheFlag {
+				continue
+			}
+			for _, p := range t.partitions {
+				id := cluster.BlockID{RDD: r.ID, Partition: p}
+				e.wakeIndex[id] = append(e.wakeIndex[id], t)
+			}
+		}
+	}
+	e.plainPending = append(e.plainPending, t)
+}
+
+// wakeTasks promotes plain tasks whose watched block just got cached.
+func (e *Engine) wakeTasks(id cluster.BlockID) {
+	tasks, ok := e.wakeIndex[id]
+	if !ok {
+		return
+	}
+	delete(e.wakeIndex, id)
+	for _, t := range tasks {
+		if t.launched() || t.promoted {
+			continue
+		}
+		t.promoted = true
+		e.prefPending = append(e.prefPending, t)
+		if !t.waitArmed {
+			t.counted = true
+			e.unarmed++
+		}
+	}
+}
+
+type taskSpec struct {
+	partitions []int
+	ns         string
+	unit       int
+	group      bool
+}
+
+// activeNamespace returns the RDD's namespace when co-locality is enabled
+// and the namespace is registered.
+func (e *Engine) activeNamespace(r *rdd.RDD) string {
+	if !e.cfg.Features.CoLocality || r.Namespace == "" {
+		return ""
+	}
+	if !e.loc.Registered(r.Namespace) {
+		return ""
+	}
+	if n, ok := e.nsParts[r.Namespace]; !ok || n != r.Parts {
+		return ""
+	}
+	return r.Namespace
+}
+
+func (e *Engine) taskSpecs(out *rdd.RDD, ns string) []taskSpec {
+	if ns != "" && e.cfg.Features.Extendable && e.grp.Registered(ns) {
+		groups, err := e.grp.Groups(ns)
+		if err == nil {
+			specs := make([]taskSpec, 0, len(groups))
+			for _, g := range groups {
+				parts := make([]int, 0, g.Width())
+				for p := g.Lo; p < g.Hi && p < out.Parts; p++ {
+					parts = append(parts, p)
+				}
+				if len(parts) == 0 {
+					continue
+				}
+				specs = append(specs, taskSpec{partitions: parts, ns: ns, unit: g.ID, group: true})
+			}
+			return specs
+		}
+	}
+	specs := make([]taskSpec, 0, out.Parts)
+	for p := 0; p < out.Parts; p++ {
+		unit := -1
+		tns := ""
+		if ns != "" {
+			unit = p
+			tns = ns
+		}
+		specs = append(specs, taskSpec{partitions: []int{p}, ns: tns, unit: unit})
+	}
+	return specs
+}
+
+// onStageComplete propagates stage completion: shuffle-map stages unblock
+// waiters (in this and other jobs); the result stage finishes the job.
+func (e *Engine) onStageComplete(sr *stageRun) {
+	if sr.st.ShuffleMap {
+		delete(e.shuffleRunning, sr.st.ShuffleID)
+		waiters := e.shuffleWaiters[sr.st.ShuffleID]
+		delete(e.shuffleWaiters, sr.st.ShuffleID)
+		// Children in this job plus cross-job waiters re-check readiness.
+		for _, child := range sr.job.stages {
+			e.maybeStartStage(child)
+		}
+		for _, w := range waiters {
+			e.maybeStartStage(w)
+		}
+		return
+	}
+	e.finishJob(sr.job)
+}
+
+func (e *Engine) finishJob(j *job) {
+	if j.done {
+		return
+	}
+	j.done = true
+	e.stats.Jobs++
+	jm := metrics.JobMetrics{
+		JobID:     j.id,
+		Submitted: j.submitted,
+		Finished:  e.loop.Now(),
+		Tasks:     j.tasks,
+	}
+	e.completed = append(e.completed, jm)
+	e.trace("job-finish", j.id, -1, -1, -1, fmt.Sprintf("makespan=%v tasks=%d", jm.Makespan(), len(jm.Tasks)))
+	res := JobResult{
+		JobID:      j.id,
+		Count:      j.count,
+		Partitions: j.parts,
+		Metrics:    jm,
+	}
+	e.maybeCheckpoint(j.final)
+	if j.cb != nil {
+		j.cb(res)
+	}
+}

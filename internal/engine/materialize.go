@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"stark/internal/cluster"
+	"stark/internal/rdd"
+	"stark/internal/record"
+	"stark/internal/storage"
+)
+
+// costAcc accumulates one task's modeled time and bytes.
+type costAcc struct {
+	compute     time.Duration
+	shuffleRead time.Duration
+	diskRead    time.Duration
+	diskWrite   time.Duration
+
+	bytesInput   int64
+	bytesShuffle int64
+	// working approximates the task's transient memory footprint, feeding
+	// the GC pressure model.
+	working int64
+}
+
+func (a *costAcc) ioTotal() time.Duration {
+	return a.shuffleRead + a.diskRead + a.diskWrite
+}
+
+// runTask executes the task's data plane on the chosen executor and returns
+// the modeled task duration. Cache mutations (including evictions) apply
+// immediately; the duration covers compute, IO, GC and fixed overhead.
+func (e *Engine) runTask(t *task, exec int) time.Duration {
+	acc := &costAcc{}
+	st := t.sr.st
+	for _, p := range t.partitions {
+		data := e.materialize(st.Output, p, exec, acc)
+		if st.ShuffleMap {
+			e.writeMapOutput(t, p, data, exec, acc)
+			continue
+		}
+		switch t.sr.job.action {
+		case ActionCount:
+			t.count += int64(len(data))
+		case ActionCollect:
+			if t.collected == nil {
+				t.collected = make(map[int][]record.Record)
+			}
+			t.collected[p] = record.Clone(data)
+		case ActionMaterialize:
+			// Materialization is its own reward.
+		}
+	}
+
+	// GC model: overhead grows with post-task memory pressure including the
+	// transient working set (paper Fig. 12's six-RDD effect).
+	store := e.cl.Executor(exec).Store
+	pressure := 0.0
+	if store.Capacity() > 0 {
+		pressure = float64(store.Used()+acc.working) / float64(store.Capacity())
+	}
+	gc := time.Duration(float64(acc.compute) * e.cfg.Cluster.GC.Factor(pressure))
+
+	t.tm.Compute = acc.compute
+	t.tm.GC = gc
+	t.tm.ShuffleRead = acc.shuffleRead
+	t.tm.DiskRead = acc.diskRead
+	t.tm.DiskWrite = acc.diskWrite
+	t.tm.BytesInput = acc.bytesInput
+	t.tm.BytesShuffle = acc.bytesShuffle
+
+	overhead := e.cfg.Cluster.TaskOverhead
+	if t.group {
+		overhead += time.Duration(len(t.partitions)) * e.cfg.Cluster.GroupPartitionOverhead
+	}
+	return overhead + acc.compute + acc.ioTotal() + gc
+}
+
+// writeMapOutput buckets one computed map partition by the consumer's
+// partitioner and commits it to persistent storage.
+func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, acc *costAcc) {
+	st := t.sr.st
+	part := st.Consumer.Partitioner
+	buckets := make(map[int][]record.Record)
+	for _, rec := range data {
+		b := part.PartitionFor(rec.Key)
+		buckets[b] = append(buckets[b], rec)
+	}
+	out := make(map[int]storage.Bucket, len(buckets))
+	var total int64
+	for b, recs := range buckets {
+		bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(recs))
+		out[b] = storage.Bucket{Data: recs, Bytes: bytes}
+		total += bytes
+	}
+	if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
+		panic(fmt.Sprintf("engine: map output write: %v", err))
+	}
+	// Bucketing is a cheap pass over the data; the write hits disk.
+	acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
+	acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
+	_ = exec
+}
+
+// materialize produces partition p of r on the given executor, honoring the
+// engine's Spark-faithful semantics: only the local cache is consulted (a
+// partition cached on a *different* executor is recomputed, never fetched —
+// the amplification co-locality removes), checkpoints and shuffle outputs
+// are read from persistent storage, and everything else recurses through
+// narrow parents.
+func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record.Record {
+	id := cluster.BlockID{RDD: r.ID, Partition: p}
+	if data, ok := e.cl.CacheGet(exec, id); ok {
+		e.stats.CacheHits++
+		return data
+	}
+	if r.CacheFlag {
+		// The block was requested from a cache-enabled RDD and missed: this
+		// is the recompute penalty the locality machinery exists to avoid.
+		e.stats.CacheMisses++
+	}
+	if r.Checkpointed && e.store.HasCheckpoint(r.ID, p) {
+		data, bytes, err := e.store.ReadCheckpoint(r.ID, p)
+		if err != nil {
+			panic(fmt.Sprintf("engine: checkpoint read: %v", err))
+		}
+		acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
+		acc.working += bytes
+		e.finishPartition(r, p, exec, data, acc)
+		return data
+	}
+
+	var data []record.Record
+	switch r.Kind {
+	case rdd.KindSource:
+		if p < 0 || p >= len(r.Source) {
+			panic(fmt.Sprintf("engine: source %s has no partition %d", r, p))
+		}
+		data = r.Source[p]
+		bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
+		if r.SourceFromDisk {
+			acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
+		}
+		acc.working += bytes
+		acc.bytesInput += bytes
+	default:
+		inputs := make([][]record.Record, len(r.Deps))
+		var inputBytes int64
+		for i, d := range r.Deps {
+			if d.Shuffle {
+				recs, bytes, err := e.store.ReadReduce(d.ShuffleID, p)
+				if err != nil {
+					panic(fmt.Sprintf("engine: shuffle read for %s[%d]: %v", r, p, err))
+				}
+				// Map outputs are spread across the cluster: all bytes come
+				// off disk, and on average (E-1)/E of them cross the network.
+				acc.shuffleRead += e.cfg.Cluster.DiskReadTime(bytes)
+				if n := e.cl.NumExecutors(); n > 1 {
+					remote := bytes * int64(n-1) / int64(n)
+					acc.shuffleRead += e.cfg.Cluster.NetTime(remote)
+				}
+				acc.bytesShuffle += bytes
+				inputs[i] = recs
+				inputBytes += bytes
+			} else {
+				pp := p
+				if d.Map != nil {
+					mapped, ok := d.Map(p)
+					if !ok {
+						continue // this parent contributes nothing here
+					}
+					pp = mapped
+				}
+				inputs[i] = e.materialize(d.Parent, pp, exec, acc)
+				inputBytes += e.partBytes(d.Parent, pp)
+			}
+		}
+		ct := e.cfg.Cluster.ComputeTime(inputBytes, r.CostFactor)
+		data = r.Transform(p, inputs)
+		acc.compute += ct
+		acc.bytesInput += inputBytes
+		if ct > r.MaxTransformTime {
+			r.MaxTransformTime = ct
+		}
+	}
+	e.finishPartition(r, p, exec, data, acc)
+	return data
+}
+
+// finishPartition records the partition's size and caches it when requested.
+func (e *Engine) finishPartition(r *rdd.RDD, p, exec int, data []record.Record, acc *costAcc) {
+	bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
+	if r.PartBytes == nil {
+		r.PartBytes = make([]int64, r.Parts)
+	}
+	r.PartBytes[p] = bytes
+	acc.working += bytes
+	if r.CacheFlag {
+		id := cluster.BlockID{RDD: r.ID, Partition: p}
+		evicted := e.cl.CachePut(exec, id, data, bytes)
+		e.onEvictions(exec, evicted)
+		e.wakeTasks(id)
+	}
+}
+
+// partBytes reads a recorded partition size, falling back to measuring the
+// source directly for never-recorded partitions.
+func (e *Engine) partBytes(r *rdd.RDD, p int) int64 {
+	if r.PartBytes != nil && p < len(r.PartBytes) {
+		return r.PartBytes[p]
+	}
+	return 0
+}

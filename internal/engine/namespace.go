@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+
+	"stark/internal/cluster"
+	"stark/internal/group"
+	"stark/internal/partition"
+	"stark/internal/rdd"
+	"stark/internal/replication"
+)
+
+// RegisterNamespace declares a locality namespace for RDDs created with
+// rdd.Graph.LocalityPartitionBy: the LocalityManager pins the collection's
+// partitions (or partition groups, in extendable mode) to executors. The
+// partitioner fixes the collection's partition count; initialGroups sizes
+// the Group Tree when extendable partitioning is enabled (both the
+// partition count and initialGroups must then be powers of two).
+// Registration is idempotent for an agreeing partitioner.
+func (e *Engine) RegisterNamespace(ns string, p partition.Partitioner, initialGroups int) error {
+	if !e.cfg.Features.CoLocality {
+		// Without co-locality the namespace is inert; accept and ignore so
+		// the same application code runs under every configuration.
+		return nil
+	}
+	numParts := p.NumPartitions()
+	var units []int
+	if e.cfg.Features.Extendable {
+		if err := e.grp.Register(ns, numParts, initialGroups); err != nil {
+			return err
+		}
+		groups, err := e.grp.Groups(ns)
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			units = append(units, g.ID)
+		}
+	} else {
+		units = make([]int, numParts)
+		for i := range units {
+			units[i] = i
+		}
+	}
+	if err := e.loc.Register(ns, p, units, e.cl.AliveExecutors()); err != nil {
+		return err
+	}
+	e.nsParts[ns] = numParts
+	return nil
+}
+
+// TrackNamespaceRDD associates an RDD with its namespace for eviction and
+// size bookkeeping. The graph-building layer calls it for every RDD whose
+// namespace is active.
+func (e *Engine) TrackNamespaceRDD(r *rdd.RDD) {
+	if r.Namespace == "" {
+		return
+	}
+	for _, existing := range e.nsRDDs[r.Namespace] {
+		if existing.ID == r.ID {
+			return
+		}
+	}
+	e.nsRDDs[r.Namespace] = append(e.nsRDDs[r.Namespace], r)
+}
+
+// ReportRDD feeds a materialized RDD's partition sizes to the GroupManager
+// (the paper's GroupManager.reportRDD API) and applies any threshold-
+// triggered splits or merges, rewiring the LocalityManager accordingly.
+// It returns the changes performed.
+func (e *Engine) ReportRDD(r *rdd.RDD) ([]group.Change, error) {
+	ns := r.Namespace
+	if ns == "" {
+		return nil, fmt.Errorf("engine: RDD %s has no namespace", r)
+	}
+	if !e.cfg.Features.Extendable || !e.grp.Registered(ns) {
+		return nil, nil
+	}
+	if r.PartBytes == nil {
+		return nil, fmt.Errorf("engine: RDD %s not materialized", r)
+	}
+	if err := e.grp.ReportRDD(ns, r.PartBytes); err != nil {
+		return nil, err
+	}
+	changes, err := e.grp.Rebalance(ns)
+	if err != nil {
+		return nil, err
+	}
+	for _, ch := range changes {
+		switch ch.Kind {
+		case group.ChangeSplit:
+			newExec := e.leastLoadedExecutor()
+			if err := e.loc.ApplySplit(ns, ch.Before[0].ID, ch.After[0].ID, ch.After[1].ID, newExec); err != nil {
+				return changes, err
+			}
+		case group.ChangeMerge:
+			if err := e.loc.ApplyMerge(ns, ch.Before[0].ID, ch.Before[1].ID, ch.After[0].ID); err != nil {
+				return changes, err
+			}
+		}
+	}
+	return changes, nil
+}
+
+// leastLoadedExecutor picks the live executor with the fewest locality
+// assignments (ties broken by id), the target for newly split groups.
+func (e *Engine) leastLoadedExecutor() int {
+	loads := e.loc.AssignmentsPerExecutor()
+	best := -1
+	bestLoad := 0
+	for _, id := range e.cl.AliveExecutors() {
+		l := loads[id]
+		if best == -1 || l < bestLoad {
+			best = id
+			bestLoad = l
+		}
+	}
+	return best
+}
+
+// unitOf maps a block to its collection unit, or ok=false when the block's
+// RDD is outside any active namespace.
+func (e *Engine) unitOf(id cluster.BlockID) (ns string, unit int, ok bool) {
+	r := e.graph.ByID(id.RDD)
+	if r == nil || r.Namespace == "" {
+		return "", 0, false
+	}
+	ns = r.Namespace
+	if !e.loc.Registered(ns) {
+		return "", 0, false
+	}
+	if e.cfg.Features.Extendable && e.grp.Registered(ns) {
+		g, err := e.grp.GroupOf(ns, id.Partition)
+		if err != nil {
+			return "", 0, false
+		}
+		return ns, g.ID, true
+	}
+	return ns, id.Partition, true
+}
+
+// onEvictions de-replicates collection units whose last cached block on an
+// executor was just evicted.
+func (e *Engine) onEvictions(exec int, evicted []cluster.BlockID) {
+	for _, id := range evicted {
+		ns, unit, ok := e.unitOf(id)
+		if !ok {
+			continue
+		}
+		if e.unitCachedOn(ns, unit, exec) {
+			continue
+		}
+		e.loc.RemoveReplica(ns, unit, exec)
+		e.repl.Dropped(replication.UnitKey{Namespace: ns, Unit: unit})
+	}
+}
+
+// unitCachedOn reports whether any RDD of the namespace still has a block
+// of the unit cached on the executor.
+func (e *Engine) unitCachedOn(ns string, unit, exec int) bool {
+	parts := e.unitPartitions(ns, unit)
+	for _, r := range e.nsRDDs[ns] {
+		for _, p := range parts {
+			if e.cl.CacheHas(exec, cluster.BlockID{RDD: r.ID, Partition: p}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unitPartitions expands a unit to its partition list.
+func (e *Engine) unitPartitions(ns string, unit int) []int {
+	if e.cfg.Features.Extendable && e.grp.Registered(ns) {
+		g, err := e.grp.GroupOf(ns, unit)
+		if err == nil && g.ID == unit {
+			parts := make([]int, 0, g.Width())
+			for p := g.Lo; p < g.Hi; p++ {
+				parts = append(parts, p)
+			}
+			return parts
+		}
+	}
+	return []int{unit}
+}

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"stark/internal/cluster"
+	"stark/internal/metrics"
+	"stark/internal/replication"
+)
+
+// schedule runs one scheduling round: delay scheduling first (launch every
+// pending task that has a free data-local slot), then remote launches for
+// tasks whose locality wait expired or that have no locality to wait for —
+// ordered by Minimum-Contention-First when enabled (paper Algorithm 1).
+// Tasks still waiting arm a timer so the round re-runs at wait expiry.
+func (e *Engine) schedule() {
+	for {
+		free := e.freeSlots()
+		if free == 0 {
+			break
+		}
+		progress := false
+
+		// Pass 1: NODE_LOCAL launches for locality-capable tasks. Stop as
+		// soon as the cluster fills — under overload the pending queue is
+		// huge and scanning it with no slots free is pure waste.
+		for _, t := range e.prefPending {
+			if free == 0 {
+				break
+			}
+			for _, ex := range e.preferredExecutors(t) {
+				if e.cl.Executor(ex).FreeSlots() > 0 {
+					e.launch(t, ex, metrics.NodeLocal)
+					progress = true
+					free--
+					break
+				}
+			}
+		}
+		e.compactPrefPending()
+
+		// Pass 2: REMOTE launches — locality-capable tasks whose wait
+		// expired or that have no live preference, then the plain FIFO.
+		// Collect no more eligible tasks than there are free slots.
+		now := e.loop.Now()
+		var eligible []*task
+		for _, t := range e.prefPending {
+			if free == 0 || len(eligible) >= free {
+				break
+			}
+			if now-t.submitted >= e.cfg.Sched.LocalityWait || len(e.preferredExecutors(t)) == 0 {
+				eligible = append(eligible, t)
+			}
+		}
+		offers := e.remoteOffers()
+		if len(offers) > 0 && free > 0 {
+			oi := 0
+			nextTask := func() *task {
+				if len(eligible) > 0 {
+					t := eligible[0]
+					eligible = eligible[1:]
+					return t
+				}
+				for e.plainHead < len(e.plainPending) {
+					t := e.plainPending[e.plainHead]
+					e.plainPending[e.plainHead] = nil
+					e.plainHead++
+					if t != nil && !t.launched() && !t.promoted {
+						return t
+					}
+				}
+				return nil
+			}
+			for {
+				// Cycle offers, one task per executor per round, like
+				// Spark's resourceOffers.
+				tried := 0
+				for tried < len(offers) && e.cl.Executor(offers[oi]).FreeSlots() == 0 {
+					oi = (oi + 1) % len(offers)
+					tried++
+				}
+				if tried == len(offers) {
+					break
+				}
+				t := nextTask()
+				if t == nil {
+					break
+				}
+				e.launch(t, offers[oi], metrics.Remote)
+				progress = true
+				oi = (oi + 1) % len(offers)
+			}
+		}
+		e.compactPrefPending()
+		e.compactPlainPending()
+
+		if !progress {
+			break
+		}
+	}
+
+	// Arm locality-wait timers for tasks still waiting on busy local slots.
+	// The unarmed counter keeps this O(1) in the common all-armed case.
+	if e.unarmed == 0 {
+		return
+	}
+	for _, t := range e.prefPending {
+		if t.waitArmed || t.launched() {
+			continue
+		}
+		t.waitArmed = true
+		e.unarmed--
+		deadline := t.submitted + e.cfg.Sched.LocalityWait
+		e.loop.At(deadline+time.Millisecond, func() { e.schedule() })
+	}
+	if e.unarmed < 0 {
+		e.unarmed = 0
+	}
+}
+
+// freeSlots counts free slots across live executors.
+func (e *Engine) freeSlots() int {
+	n := 0
+	for _, ex := range e.cl.Executors() {
+		n += ex.FreeSlots()
+	}
+	return n
+}
+
+// compactPrefPending removes launched tasks, preserving submission order.
+func (e *Engine) compactPrefPending() {
+	kept := e.prefPending[:0]
+	for _, t := range e.prefPending {
+		if !t.launched() {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(e.prefPending); i++ {
+		e.prefPending[i] = nil
+	}
+	e.prefPending = kept
+}
+
+// compactPlainPending releases consumed queue prefix memory, amortized.
+func (e *Engine) compactPlainPending() {
+	if e.plainHead > 4096 && e.plainHead > len(e.plainPending)/2 {
+		e.plainPending = append([]*task(nil), e.plainPending[e.plainHead:]...)
+		e.plainHead = 0
+	}
+}
+
+func (t *task) launched() bool { return t.tm.Locality != 0 }
+
+// preferredExecutors returns the live executors a task would be NODE_LOCAL
+// on. Namespace tasks use the LocalityManager's unit assignment. Other
+// tasks mirror Spark 1.3's DAGScheduler.getPreferredLocsInternal: walk the
+// narrow chain breadth-first and return the cached locations of the first
+// RDD that has any — for a cogroup that is effectively the first parent
+// branch, so the chosen executor is local for ONE branch and recomputes the
+// rest, the co-locality gap the paper measures (Sec. II-B).
+func (e *Engine) preferredExecutors(t *task) []int {
+	if t.ns != "" {
+		return e.filterAlive(e.loc.Preferred(t.ns, t.unit))
+	}
+	if len(t.partitions) != 1 {
+		return nil
+	}
+	p := t.partitions[0]
+	for _, r := range t.sr.st.NarrowChain() {
+		locs := e.filterAlive(e.cl.Locations(cluster.BlockID{RDD: r.ID, Partition: p}))
+		if len(locs) > 0 {
+			return locs
+		}
+	}
+	return nil
+}
+
+func (e *Engine) filterAlive(execs []int) []int {
+	out := execs[:0:0]
+	for _, id := range execs {
+		if id >= 0 && id < e.cl.NumExecutors() && !e.cl.Executor(id).Dead() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// remoteOffers lists live executors with free slots, ordered for remote
+// assignment. MCF sorts ascending by unique collection partitions cached
+// (Algorithm 1 line 5). Otherwise offers are randomly permuted, matching
+// Spark's randomized resource offers — the behaviour that scatters
+// partitions of independent RDDs across servers and breaks co-locality for
+// the Spark baselines (paper Sec. III-B).
+func (e *Engine) remoteOffers() []int {
+	var offers []int
+	for _, id := range e.cl.AliveExecutors() {
+		if e.cl.Executor(id).FreeSlots() > 0 {
+			offers = append(offers, id)
+		}
+	}
+	if e.cfg.Features.MCF || e.cfg.Sched.MCF {
+		type off struct{ id, units int }
+		scored := make([]off, len(offers))
+		for i, id := range offers {
+			scored[i] = off{id: id, units: e.cl.UniqueKeysCached(id, e.unitKey)}
+		}
+		sort.SliceStable(scored, func(a, b int) bool {
+			if scored[a].units != scored[b].units {
+				return scored[a].units < scored[b].units
+			}
+			return scored[a].id < scored[b].id
+		})
+		for i, s := range scored {
+			offers[i] = s.id
+		}
+		return offers
+	}
+	e.rng.Shuffle(len(offers), func(i, j int) { offers[i], offers[j] = offers[j], offers[i] })
+	return offers
+}
+
+// unitKey renders a block's collection unit for MCF counting; "" for blocks
+// outside any namespace.
+func (e *Engine) unitKey(id cluster.BlockID) string {
+	ns, unit, ok := e.unitOf(id)
+	if !ok {
+		return ""
+	}
+	return ns + "/" + itoa(unit)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// launch runs a task on an executor: the data plane executes immediately
+// (mutating caches), and the computed duration schedules the completion
+// event.
+func (e *Engine) launch(t *task, exec int, loc metrics.Locality) {
+	ex := e.cl.Executor(exec)
+	ex.Acquire()
+	t.exec = exec
+	t.tm.Executor = exec
+	t.tm.Locality = loc
+	t.tm.Started = e.loop.Now()
+	if t.counted && !t.waitArmed {
+		// The task launches before its locality-wait timer was armed.
+		e.unarmed--
+	}
+	e.running[t.id] = t
+	e.traceTaskLaunch(t, exec, loc)
+
+	dur := e.runTask(t, exec)
+	e.loop.After(dur, func() { e.complete(t) })
+}
+
+// complete finalizes a task: slot release, metrics, replica bookkeeping,
+// stage countdown.
+func (e *Engine) complete(t *task) {
+	delete(e.running, t.id)
+	if t.aborted {
+		// The executor died mid-flight; a clone was already resubmitted at
+		// kill time and the slot accounting was reset by Kill.
+		return
+	}
+	e.cl.Executor(t.exec).Release()
+	t.tm.Finished = e.loop.Now()
+	t.sr.job.tasks = append(t.sr.job.tasks, t.tm)
+	e.recordTaskStats(t.tm)
+	e.trace("task-finish", t.sr.job.id, t.sr.st.ID, t.id, t.exec, "dur="+t.tm.Duration().String())
+
+	// Apply action results now that the task is known to have survived.
+	t.sr.job.count += t.count
+	for p, data := range t.collected {
+		t.sr.job.parts[p] = data
+	}
+
+	// Contention-aware replication (paper Sec. III-C3): a remote launch
+	// materialized the unit's chain in this executor's cache; the policy
+	// decides whether that copy is worth keeping as a replica, and whether
+	// a cooled-down unit should retire one.
+	if t.ns != "" {
+		key := replication.UnitKey{Namespace: t.ns, Unit: t.unit}
+		now := e.loop.Now()
+		switch t.tm.Locality {
+		case metrics.Remote:
+			if e.repl.OnRemoteLaunch(key, now) {
+				e.loc.AddReplica(t.ns, t.unit, t.exec)
+				e.trace("replica-add", t.sr.job.id, -1, -1, t.exec, fmt.Sprintf("unit=%s/%d", t.ns, t.unit))
+			}
+		case metrics.NodeLocal:
+			e.repl.OnLocalLaunch(key, now)
+		}
+		if e.repl.ShouldDeReplicate(key, now) {
+			e.deReplicate(t.ns, t.unit)
+		}
+	}
+
+	t.sr.remaining--
+	if t.sr.remaining == 0 {
+		e.onStageComplete(t.sr)
+	}
+	e.schedule()
+}
+
+// deReplicate retires the unit's most recently added replica: drops its
+// cached blocks and removes it from the preferred-executor list.
+func (e *Engine) deReplicate(ns string, unit int) {
+	execs := e.loc.Preferred(ns, unit)
+	if len(execs) < 2 {
+		return
+	}
+	victim := execs[len(execs)-1]
+	for _, r := range e.nsRDDs[ns] {
+		for _, p := range e.unitPartitions(ns, unit) {
+			e.cl.DropBlock(victim, cluster.BlockID{RDD: r.ID, Partition: p})
+		}
+	}
+	e.loc.RemoveReplica(ns, unit, victim)
+	e.repl.Dropped(replication.UnitKey{Namespace: ns, Unit: unit})
+	e.trace("replica-drop", -1, -1, -1, victim, fmt.Sprintf("unit=%s/%d", ns, unit))
+}
+
+// KillExecutor fails an executor at the current virtual time: cached blocks
+// vanish, running tasks abort and are resubmitted, and locality assignments
+// fail over (lineage recomputation happens naturally when the resubmitted
+// tasks cannot find cached parents).
+func (e *Engine) KillExecutor(id int) {
+	e.trace("executor-kill", -1, -1, -1, id, "")
+	e.cl.Kill(id)
+	e.loc.DropExecutor(id, e.cl.AliveExecutors())
+	for _, t := range e.running {
+		if t.exec != id || t.aborted {
+			continue
+		}
+		t.aborted = true
+		clone := &task{
+			id:         e.taskSeq,
+			sr:         t.sr,
+			partitions: t.partitions,
+			ns:         t.ns,
+			unit:       t.unit,
+			group:      t.group,
+			prefCap:    t.prefCap,
+			submitted:  e.loop.Now(),
+		}
+		e.taskSeq++
+		clone.tm = metrics.TaskMetrics{
+			JobID:     t.sr.job.id,
+			StageID:   t.sr.st.ID,
+			TaskID:    clone.id,
+			Submitted: clone.submitted,
+		}
+		e.enqueue(clone)
+	}
+	e.schedule()
+}
+
+// RestartExecutor revives a failed executor with a cold cache.
+func (e *Engine) RestartExecutor(id int) {
+	e.trace("executor-restart", -1, -1, -1, id, "")
+	e.cl.Restart(id)
+	e.schedule()
+}
+
+// blockID is sugar for constructing block ids.
+func blockID(rddID, part int) cluster.BlockID {
+	return cluster.BlockID{RDD: rddID, Partition: part}
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stark"
+)
+
+// Ablations beyond the paper's own figures, exercising the design choices
+// DESIGN.md calls out: MCF scheduling, group-threshold hysteresis, the
+// delay-scheduling wait bound, and the checkpoint relaxation factor.
+
+// AblationMCFResult compares hotspot query delay with and without
+// Minimum-Contention-First scheduling.
+type AblationMCFResult struct {
+	WithMCF    time.Duration
+	WithoutMCF time.Duration
+}
+
+// RunAblationMCF loads a namespace whose collection partitions compete for
+// a few executors, then measures mean query delay under concurrent load
+// with plain delay scheduling vs MCF.
+func RunAblationMCF() (AblationMCFResult, error) {
+	run := func(mcf bool) (time.Duration, error) {
+		opts := []stark.Option{
+			stark.WithCoLocality(),
+			stark.WithExecutors(8), stark.WithSlots(2),
+			stark.WithSizeScale(420),
+			stark.WithLocalityWait(100 * time.Millisecond),
+			stark.WithSeed(3),
+		}
+		if mcf {
+			opts = append(opts, stark.WithMCF())
+		}
+		ctx := stark.NewContext(opts...)
+		p := stark.NewHashPartitioner(16)
+		if err := ctx.RegisterNamespace("ns", p, 1); err != nil {
+			return 0, err
+		}
+		var rdds []*stark.RDD
+		for i := 0; i < 4; i++ {
+			r := ctx.TextFile(fmt.Sprintf("d%d", i), makeLogFile(int64(i), 10000), 8).
+				LocalityPartitionBy(p, "ns").Cache()
+			if _, err := r.Materialize(); err != nil {
+				return 0, err
+			}
+			rdds = append(rdds, r)
+		}
+		results := ctx.OpenLoop(5*time.Millisecond, 60, func(i int) *stark.RDD {
+			return ctx.CoGroup(p, rdds...)
+		})
+		return stark.MeanDelay(results), nil
+	}
+	var res AblationMCFResult
+	var err error
+	if res.WithoutMCF, err = run(false); err != nil {
+		return res, err
+	}
+	if res.WithMCF, err = run(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Print emits the comparison.
+func (r AblationMCFResult) Print(w io.Writer) {
+	fprintf(w, "Ablation: MCF scheduling under hotspot load\n")
+	fprintf(w, "  delay scheduling only: %s\n", fmtMs(r.WithoutMCF))
+	fprintf(w, "  with MCF:              %s\n", fmtMs(r.WithMCF))
+}
+
+// AblationHysteresisPoint is one (band, churn) measurement.
+type AblationHysteresisPoint struct {
+	// Band is MaxBytes/MinBytes.
+	Band float64
+	// Changes counts split/merge operations over the run.
+	Changes int
+	// Imbalance is the final max/mean group size ratio.
+	Imbalance float64
+}
+
+// RunAblationHysteresis sweeps the split/merge threshold band width and
+// measures rebalance churn vs achieved balance on a drifting workload.
+func RunAblationHysteresis(bands []float64) ([]AblationHysteresisPoint, error) {
+	var out []AblationHysteresisPoint
+	for _, band := range bands {
+		maxBytes := int64(400 << 20)
+		minBytes := int64(float64(maxBytes) / band)
+		ctx := stark.NewContext(
+			stark.WithExtendable(stark.GroupBounds(maxBytes, minBytes, 2)),
+			stark.WithExecutors(8), stark.WithSlots(4),
+			stark.WithSizeScale(420),
+			stark.WithSeed(5),
+		)
+		p := stark.NewStaticRangePartitioner(uniformSkewBounds(4096, 32))
+		if err := ctx.RegisterNamespace("ns", p, 8); err != nil {
+			return nil, err
+		}
+		changes := 0
+		// The hot window drifts across the key space over 8 datasets.
+		for i := 0; i < 8; i++ {
+			recs := makeSkewedRDD(int64(i), 20000, 4096, 0.6, 512, i*512)
+			r := ctx.TextFile(fmt.Sprintf("d%d", i), recs, 8).
+				LocalityPartitionBy(p, "ns").Cache()
+			if _, err := r.Materialize(); err != nil {
+				return nil, err
+			}
+			ch, err := ctx.ReportRDD(r)
+			if err != nil {
+				return nil, err
+			}
+			changes += len(ch)
+		}
+		sizes, err := ctx.GroupSizes("ns")
+		if err != nil {
+			return nil, err
+		}
+		var max, sum int64
+		for _, b := range sizes {
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		imb := 0.0
+		if sum > 0 && len(sizes) > 0 {
+			imb = float64(max) / (float64(sum) / float64(len(sizes)))
+		}
+		out = append(out, AblationHysteresisPoint{Band: band, Changes: changes, Imbalance: imb})
+	}
+	return out, nil
+}
+
+// PrintHysteresis emits the sweep.
+func PrintHysteresis(w io.Writer, pts []AblationHysteresisPoint) {
+	fprintf(w, "Ablation: group threshold hysteresis (band = max/min bytes) vs churn under drift\n")
+	fprintf(w, "  %6s %8s %10s\n", "band", "changes", "imbalance")
+	for _, pt := range pts {
+		fprintf(w, "  %6.1f %8d %9.2fx\n", pt.Band, pt.Changes, pt.Imbalance)
+	}
+}
+
+// AblationWaitPoint is one (wait, locality, delay) measurement.
+type AblationWaitPoint struct {
+	Wait     time.Duration
+	Locality float64
+	Mean     time.Duration
+}
+
+// RunAblationLocalityWait sweeps the delay-scheduling bound and measures
+// NODE_LOCAL rate and mean delay under contention.
+func RunAblationLocalityWait(waits []time.Duration) ([]AblationWaitPoint, error) {
+	var out []AblationWaitPoint
+	for _, wait := range waits {
+		ctx := stark.NewContext(
+			stark.WithCoLocality(),
+			stark.WithExecutors(4), stark.WithSlots(2),
+			stark.WithSizeScale(420),
+			stark.WithLocalityWait(wait),
+			stark.WithSeed(9),
+		)
+		p := stark.NewHashPartitioner(8)
+		if err := ctx.RegisterNamespace("ns", p, 1); err != nil {
+			return nil, err
+		}
+		base := ctx.TextFile("d", makeLogFile(1, 20000), 4).
+			LocalityPartitionBy(p, "ns").Cache()
+		if _, err := base.Materialize(); err != nil {
+			return nil, err
+		}
+		results := ctx.OpenLoop(2*time.Millisecond, 50, func(i int) *stark.RDD {
+			return base.Filter(func(stark.Record) bool { return true })
+		})
+		var local, total float64
+		for _, r := range results {
+			total += float64(len(r.Metrics.Tasks))
+			local += r.Metrics.LocalityFraction() * float64(len(r.Metrics.Tasks))
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = local / total
+		}
+		out = append(out, AblationWaitPoint{Wait: wait, Locality: frac, Mean: stark.MeanDelay(results)})
+	}
+	return out, nil
+}
+
+// PrintWait emits the sweep.
+func PrintWait(w io.Writer, pts []AblationWaitPoint) {
+	fprintf(w, "Ablation: delay-scheduling wait bound vs locality and delay under contention\n")
+	fprintf(w, "  %10s %9s %10s\n", "wait", "locality", "mean")
+	for _, pt := range pts {
+		fprintf(w, "  %10v %8.0f%% %s\n", pt.Wait, pt.Locality*100, fmtMs(pt.Mean))
+	}
+}
+
+// AblationRelaxPoint is one (f, checkpoint bytes, triggers) measurement.
+type AblationRelaxPoint struct {
+	Relax    float64
+	Total    int64
+	Selected int
+}
+
+// RunAblationRelax sweeps the checkpoint relaxation factor on the trending
+// app and reports total checkpointed bytes and RDDs selected.
+func RunAblationRelax(fs []float64) ([]AblationRelaxPoint, error) {
+	cfg := DefaultCheckpoint()
+	var out []AblationRelaxPoint
+	for _, f := range fs {
+		ctx, app, err := newTrendingRun(cfg, stark.WithCheckpointing(cfg.Bound, f))
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < cfg.Steps; s++ {
+			if _, err := app.Step(trendingInput(cfg, s)); err != nil {
+				return nil, err
+			}
+		}
+		selected := 0
+		for _, r := range ctx.Engine().Graph().RDDs() {
+			if r.Checkpointed {
+				selected++
+			}
+		}
+		out = append(out, AblationRelaxPoint{Relax: f, Total: ctx.TotalCheckpointBytes(), Selected: selected})
+	}
+	return out, nil
+}
+
+// PrintRelax emits the sweep.
+func PrintRelax(w io.Writer, pts []AblationRelaxPoint) {
+	fprintf(w, "Ablation: checkpoint relaxation factor f\n")
+	fprintf(w, "  %6s %10s %9s\n", "f", "total", "selected")
+	for _, pt := range pts {
+		fprintf(w, "  %6.1f %8dMB %9d\n", pt.Relax, pt.Total>>20, pt.Selected)
+	}
+}
+
+// AblationPlacementPoint is one scheduling-policy measurement of the
+// Fig. 9 trade-off: dedicating executors to collection partitions wastes
+// CPU; blindly using any executor thrashes the cache; bounded-wait delay
+// scheduling with MCF sits between.
+type AblationPlacementPoint struct {
+	Policy   string
+	Mean     time.Duration
+	HitRate  float64
+	Locality float64
+}
+
+// RunAblationPlacement loads a co-located collection on a small cluster and
+// replays a steady query load under three placement policies:
+//
+//	dedicated — effectively infinite locality wait (tasks only run local)
+//	blind     — no locality management at all: random placement (Fig. 9b)
+//	delay+mcf — bounded wait with Minimum-Contention-First (Stark)
+func RunAblationPlacement() ([]AblationPlacementPoint, error) {
+	run := func(policy string, useNS bool, wait time.Duration, mcf bool) (AblationPlacementPoint, error) {
+		opts := []stark.Option{
+			stark.WithExecutors(8), stark.WithSlots(2),
+			stark.WithSizeScale(420),
+			stark.WithMemory(2 << 30),
+			stark.WithLocalityWait(wait),
+			stark.WithSeed(11),
+		}
+		if useNS {
+			opts = append(opts, stark.WithCoLocality())
+		}
+		if mcf {
+			opts = append(opts, stark.WithMCF())
+		}
+		ctx := stark.NewContext(opts...)
+		p := stark.NewHashPartitioner(16)
+		if useNS {
+			if err := ctx.RegisterNamespace("ns", p, 1); err != nil {
+				return AblationPlacementPoint{}, err
+			}
+		}
+		var rdds []*stark.RDD
+		for i := 0; i < 4; i++ {
+			src := ctx.TextFile(fmt.Sprintf("d%d", i), makeLogFile(int64(i), 10000), 8)
+			var r *stark.RDD
+			if useNS {
+				r = src.LocalityPartitionBy(p, "ns")
+			} else {
+				r = src.PartitionBy(p)
+			}
+			r.Cache()
+			if _, err := r.Materialize(); err != nil {
+				return AblationPlacementPoint{}, err
+			}
+			rdds = append(rdds, r)
+		}
+		results := ctx.OpenLoop(900*time.Millisecond, 40, func(i int) *stark.RDD {
+			return ctx.CoGroup(p, rdds...)
+		})
+		st := ctx.Stats()
+		var local, total float64
+		for _, r := range results {
+			total += float64(len(r.Metrics.Tasks))
+			local += r.Metrics.LocalityFraction() * float64(len(r.Metrics.Tasks))
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = local / total
+		}
+		return AblationPlacementPoint{
+			Policy:   policy,
+			Mean:     stark.MeanDelay(results),
+			HitRate:  st.CacheHitRate(),
+			Locality: frac,
+		}, nil
+	}
+	var out []AblationPlacementPoint
+	for _, c := range []struct {
+		name string
+		ns   bool
+		wait time.Duration
+		mcf  bool
+	}{
+		{"dedicated", true, time.Hour, false},
+		{"blind", false, 50 * time.Millisecond, false},
+		{"delay+mcf", true, 150 * time.Millisecond, true},
+	} {
+		pt, err := run(c.name, c.ns, c.wait, c.mcf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintPlacement emits the comparison.
+func PrintPlacement(w io.Writer, pts []AblationPlacementPoint) {
+	fprintf(w, "Ablation: task placement extremes (paper Fig. 9) under bursty hotspot load\n")
+	fprintf(w, "  %-10s %10s %9s %9s\n", "policy", "mean", "cacheHit", "locality")
+	for _, pt := range pts {
+		fprintf(w, "  %-10s %s %8.0f%% %8.0f%%\n", pt.Policy, fmtMs(pt.Mean), pt.HitRate*100, pt.Locality*100)
+	}
+}

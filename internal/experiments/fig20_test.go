@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig20ReplayShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig20 replay is expensive")
+	}
+	cfg := DefaultFig20()
+	cfg.Hours = 4
+	cfg.BurstsPerHour = 1
+	cfg.BurstQueries = 10
+	r, err := RunFig20(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range r.Systems {
+		if len(r.Series[sys]) == 0 {
+			t.Fatalf("%s produced no samples", sys)
+		}
+		for _, pt := range r.Series[sys] {
+			if pt.MeanDelay <= 0 {
+				t.Fatalf("%s sample at hour %.1f has non-positive delay", sys, pt.Hour)
+			}
+		}
+	}
+	// Stark-H must stay at or below Spark-H on average.
+	mean := func(sys System) time.Duration {
+		var s time.Duration
+		for _, pt := range r.Series[sys] {
+			s += pt.MeanDelay
+		}
+		return s / time.Duration(len(r.Series[sys]))
+	}
+	if mean(StarkH) >= mean(SparkH) {
+		t.Errorf("Stark-H mean (%v) not below Spark-H (%v)", mean(StarkH), mean(SparkH))
+	}
+	var b strings.Builder
+	r.Print(&b)
+	if !strings.Contains(b.String(), "Fig 20") {
+		t.Fatal("printer broken")
+	}
+}

@@ -1,0 +1,45 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMaxFlowChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(202)
+		for n := 0; n < 100; n++ {
+			g.AddEdge(2*n, 2*n+1, int64(1+n%7))
+			if n > 0 {
+				g.AddEdge(2*(n-1)+1, 2*n, Inf)
+			}
+		}
+		g.AddEdge(200, 0, Inf)
+		g.AddEdge(199, 201, Inf)
+		g.MaxFlow(200, 201)
+	}
+}
+
+func BenchmarkMaxFlowRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	type edge struct {
+		u, v int
+		c    int64
+	}
+	var edges []edge
+	const n = 200
+	for i := 0; i < 5*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, edge{u, v, int64(1 + rng.Intn(50))})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(n)
+		for _, e := range edges {
+			g.AddEdge(e.u, e.v, e.c)
+		}
+		g.MaxFlow(0, n-1)
+	}
+}

@@ -1,0 +1,40 @@
+package group
+
+import "testing"
+
+func BenchmarkTreeSplitMerge(b *testing.B) {
+	tr := NewTree(1024, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := tr.Groups()
+		g := groups[i%len(groups)]
+		if l, _, err := tr.Split(g.ID); err == nil {
+			_, _ = tr.Merge(l.ID)
+		}
+	}
+}
+
+func BenchmarkGroupOf(b *testing.B) {
+	tr := NewTree(1024, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.GroupOf(i % 1024)
+	}
+}
+
+func BenchmarkManagerRebalance(b *testing.B) {
+	m := NewManager(Config{MaxBytes: 500, MinBytes: 50, Window: 3})
+	if err := m.Register("ns", 256, 16); err != nil {
+		b.Fatal(err)
+	}
+	sizes := make([]int64, 256)
+	for i := range sizes {
+		sizes[i] = int64(i % 97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sizes[i%256] = int64(i % 1000)
+		_ = m.ReportRDD("ns", sizes)
+		_, _ = m.Rebalance("ns")
+	}
+}

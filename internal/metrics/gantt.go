@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Gantt renders a job's tasks as an executor-by-time chart, width columns
+// wide. Each row is one executor; '#' marks NODE_LOCAL task occupancy, 'r'
+// marks REMOTE. It is the quickest way to see stragglers, locality misses,
+// and idle executors in a simulated run.
+func Gantt(jm JobMetrics, width int) string {
+	if len(jm.Tasks) == 0 {
+		return "(no tasks)\n"
+	}
+	if width < 10 {
+		width = 60
+	}
+	start := jm.Tasks[0].Started
+	end := jm.Tasks[0].Finished
+	execs := map[int]bool{}
+	for _, t := range jm.Tasks {
+		if t.Started < start {
+			start = t.Started
+		}
+		if t.Finished > end {
+			end = t.Finished
+		}
+		execs[t.Executor] = true
+	}
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at-start) * int64(width) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	ids := make([]int, 0, len(execs))
+	for id := range execs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	rows := make(map[int][]byte, len(ids))
+	for _, id := range ids {
+		rows[id] = []byte(strings.Repeat(".", width))
+	}
+	for _, t := range jm.Tasks {
+		row := rows[t.Executor]
+		mark := byte('#')
+		if t.Locality == Remote {
+			mark = 'r'
+		}
+		from, to := col(t.Started), col(t.Finished)
+		for c := from; c <= to; c++ {
+			row[c] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %d: %d tasks over %v (# local, r remote, . idle)\n",
+		jm.JobID, len(jm.Tasks), span)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "exec %3d |%s|\n", id, rows[id])
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTaskDerived(t *testing.T) {
+	m := TaskMetrics{Submitted: 1 * time.Second, Started: 3 * time.Second, Finished: 10 * time.Second}
+	if m.QueueWait() != 2*time.Second {
+		t.Errorf("QueueWait = %v", m.QueueWait())
+	}
+	if m.Duration() != 7*time.Second {
+		t.Errorf("Duration = %v", m.Duration())
+	}
+}
+
+func TestJobAggregates(t *testing.T) {
+	j := JobMetrics{
+		Submitted: time.Second,
+		Finished:  11 * time.Second,
+		Tasks: []TaskMetrics{
+			{GC: time.Second, ShuffleRead: 2 * time.Second, Locality: NodeLocal, Started: 0, Finished: 5 * time.Second},
+			{GC: 3 * time.Second, ShuffleRead: time.Second, Locality: Remote, Started: 0, Finished: 9 * time.Second},
+		},
+	}
+	if j.Makespan() != 10*time.Second {
+		t.Errorf("Makespan = %v", j.Makespan())
+	}
+	if j.TotalGC() != 4*time.Second {
+		t.Errorf("TotalGC = %v", j.TotalGC())
+	}
+	if j.TotalShuffleRead() != 3*time.Second {
+		t.Errorf("TotalShuffleRead = %v", j.TotalShuffleRead())
+	}
+	if j.LocalityFraction() != 0.5 {
+		t.Errorf("LocalityFraction = %v", j.LocalityFraction())
+	}
+	sorted := j.TasksSortedByDuration()
+	if sorted[0].Duration() != 9*time.Second {
+		t.Errorf("sort order wrong: %v", sorted)
+	}
+}
+
+func TestEmptyJob(t *testing.T) {
+	var j JobMetrics
+	if j.LocalityFraction() != 0 || j.TotalGC() != 0 {
+		t.Error("empty job aggregates nonzero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{4, 1, 3, 2, 5}
+	if p := Percentile(ds, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(ds, 100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Percentile(ds, 50); p != 3 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	// Input must not be mutated.
+	if ds[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	ds := []time.Duration{2 * time.Second, 4 * time.Second}
+	if Mean(ds) != 3*time.Second || Max(ds) != 4*time.Second || Min(ds) != 2*time.Second {
+		t.Errorf("mean/max/min = %v/%v/%v", Mean(ds), Max(ds), Min(ds))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty aggregates nonzero")
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	if NodeLocal.String() != "NODE_LOCAL" || Remote.String() != "REMOTE" {
+		t.Error("locality strings wrong")
+	}
+	if Locality(0).String() != "UNKNOWN" {
+		t.Error("zero locality string wrong")
+	}
+}
+
+func TestEncodeJobsJSON(t *testing.T) {
+	var sb strings.Builder
+	jobs := []JobMetrics{{
+		JobID:    3,
+		Finished: time.Second,
+		Tasks: []TaskMetrics{{
+			TaskID: 9, Locality: NodeLocal, Compute: time.Millisecond,
+		}},
+	}}
+	if err := EncodeJobs(&sb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"job_id": 3`, `"task_id": 9`, `"NODE_LOCAL"`, `"compute_ns": 1000000`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json missing %q:\n%s", want, out)
+		}
+	}
+}

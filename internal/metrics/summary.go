@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary condenses a duration sample into the statistics the evaluation
+// tables report.
+type Summary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Summarize computes a Summary; the input is not mutated.
+func Summarize(ds []time.Duration) Summary {
+	if len(ds) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   at(0.50),
+		P95:   at(0.95),
+		P99:   at(0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v mean=%v p95=%v p99=%v max=%v",
+		s.Count, s.Min, s.P50, s.Mean, s.P95, s.P99, s.Max)
+}
+
+// Histogram buckets durations into fixed-width bins for terminal plots.
+type Histogram struct {
+	Width   time.Duration
+	Counts  []int
+	Total   int
+	Overmax int // samples beyond the last bin
+}
+
+// NewHistogram builds a histogram with bins of the given width covering
+// [0, width*bins); out-of-range samples land in Overmax.
+func NewHistogram(width time.Duration, bins int) *Histogram {
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{Width: width, Counts: make([]int, bins)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.Total++
+	if d < 0 {
+		d = 0
+	}
+	idx := int(d / h.Width)
+	if idx >= len(h.Counts) {
+		h.Overmax++
+		return
+	}
+	h.Counts[idx]++
+}
+
+// Render draws the histogram with unit-width bars scaled to maxBar
+// characters.
+func (h *Histogram) Render(maxBar int) string {
+	if maxBar < 1 {
+		maxBar = 40
+	}
+	peak := h.Overmax
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*maxBar/peak)
+		fmt.Fprintf(&b, "%8v-%8v |%-*s %d\n",
+			time.Duration(i)*h.Width, time.Duration(i+1)*h.Width, maxBar, bar, c)
+	}
+	if h.Overmax > 0 {
+		bar := strings.Repeat("#", h.Overmax*maxBar/peak)
+		fmt.Fprintf(&b, "%17s+ |%-*s %d\n", time.Duration(len(h.Counts))*h.Width, maxBar, bar, h.Overmax)
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+// Package partition implements the partitioners the paper's five evaluated
+// configurations rely on (Sec. IV-A):
+//
+//   - HashPartitioner — Spark's default; shared across RDDs it gives
+//     co-partitioning (Spark-H / Stark-H).
+//   - RangePartitioner — boundaries fitted to one RDD's key sample; a new
+//     one per RDD balances each RDD individually but destroys
+//     co-partitioning (Spark-R).
+//   - StaticRangePartitioner — range boundaries fixed once and reused across
+//     the whole collection (Stark-S), preserving co-partitioning at the cost
+//     of skew sensitivity.
+//
+// Stark-E ("extendable") keeps one of these fine-grained partitioners fixed
+// (many small partitions) and layers partition groups on top — see
+// internal/group; elasticity never changes the key→partition mapping, which
+// is the paper's central trick for shuffle-free rebalancing.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Partitioner maps record keys to partition indices, exactly like Spark's
+// Partitioner#getPartition.
+type Partitioner interface {
+	// NumPartitions reports how many partitions the partitioner produces.
+	NumPartitions() int
+	// PartitionFor maps a key to a partition index in [0, NumPartitions).
+	PartitionFor(key string) int
+	// Equivalent reports whether other is guaranteed to produce identical
+	// key→partition assignments; co-partitioning checks use it to decide
+	// narrow vs shuffle dependencies.
+	Equivalent(other Partitioner) bool
+	// Describe returns a short human-readable description for logs.
+	Describe() string
+}
+
+// Hash is Spark's default HashPartitioner.
+type Hash struct {
+	n int
+}
+
+// NewHash returns a hash partitioner over n partitions. It panics for n < 1,
+// which is a static configuration error.
+func NewHash(n int) Hash {
+	if n < 1 {
+		panic(fmt.Sprintf("partition: hash partitioner needs n >= 1, got %d", n))
+	}
+	return Hash{n: n}
+}
+
+// NumPartitions implements Partitioner.
+func (h Hash) NumPartitions() int { return h.n }
+
+// PartitionFor implements Partitioner.
+func (h Hash) PartitionFor(key string) int {
+	f := fnv.New32a()
+	_, _ = f.Write([]byte(key))
+	return int(f.Sum32() % uint32(h.n))
+}
+
+// Equivalent implements Partitioner.
+func (h Hash) Equivalent(other Partitioner) bool {
+	o, ok := other.(Hash)
+	return ok && o.n == h.n
+}
+
+// Describe implements Partitioner.
+func (h Hash) Describe() string { return fmt.Sprintf("hash(%d)", h.n) }
+
+// Range partitions keys by sorted boundary cut points, like Spark's
+// RangePartitioner. Partition i holds keys in (bound[i-1], bound[i]], with
+// the first partition open below and the last open above.
+type Range struct {
+	bounds []string // len n-1 upper bounds, sorted
+	id     uint64   // distinguishes independently fitted partitioners
+}
+
+var rangeSeq uint64
+
+// NewRange fits boundaries to the given key sample so each of the n
+// partitions receives roughly the same number of sampled keys. Each call
+// yields a distinct partitioner identity: two Range partitioners are
+// Equivalent only if they share boundaries, mirroring Spark-R's behaviour
+// where every RDD's RangePartitioner forces a reshuffle.
+func NewRange(sample []string, n int) Range {
+	if n < 1 {
+		panic(fmt.Sprintf("partition: range partitioner needs n >= 1, got %d", n))
+	}
+	keys := make([]string, len(sample))
+	copy(keys, sample)
+	sort.Strings(keys)
+	bounds := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		idx := i * len(keys) / n
+		if idx >= len(keys) {
+			idx = len(keys) - 1
+		}
+		if len(keys) == 0 {
+			break
+		}
+		b := keys[idx]
+		if len(bounds) > 0 && bounds[len(bounds)-1] >= b {
+			continue // collapse duplicate boundaries
+		}
+		bounds = append(bounds, b)
+	}
+	rangeSeq++
+	return Range{bounds: bounds, id: rangeSeq}
+}
+
+// NewStaticRange builds a range partitioner from explicit boundaries. Two
+// static range partitioners with equal boundaries are Equivalent, so RDDs
+// partitioned with the same static boundaries are co-partitioned (Stark-S).
+func NewStaticRange(bounds []string) Range {
+	b := make([]string, len(bounds))
+	copy(b, bounds)
+	sort.Strings(b)
+	return Range{bounds: b, id: 0}
+}
+
+// UniformBounds produces n-1 evenly spaced single-byte-prefix boundaries
+// over the printable key space; convenient for static partitioners over
+// uniformly distributed keys.
+func UniformBounds(n int) []string {
+	bounds := make([]string, 0, n-1)
+	const lo, hi = 0x20, 0x7f
+	for i := 1; i < n; i++ {
+		c := byte(lo + i*(hi-lo)/n)
+		bounds = append(bounds, string([]byte{c}))
+	}
+	return bounds
+}
+
+// HexBounds produces n-1 boundaries uniform over fixed-width lowercase hex
+// keys of the given width (e.g. Z-order keys rendered by zorder.Key).
+// n must be a power of two dividing 16^width.
+func HexBounds(n, width int) []string {
+	bounds := make([]string, 0, n-1)
+	total := 1.0
+	for i := 0; i < width; i++ {
+		total *= 16
+	}
+	for i := 1; i < n; i++ {
+		frac := float64(i) / float64(n)
+		v := uint64(frac * total)
+		bounds = append(bounds, fmt.Sprintf("%0*x", width, v))
+	}
+	return bounds
+}
+
+// NumPartitions implements Partitioner.
+func (r Range) NumPartitions() int { return len(r.bounds) + 1 }
+
+// PartitionFor implements Partitioner.
+func (r Range) PartitionFor(key string) int {
+	// First boundary >= key marks the partition (keys equal to a boundary
+	// stay in the lower partition, matching the fitted quantiles).
+	return sort.Search(len(r.bounds), func(i int) bool { return r.bounds[i] >= key })
+}
+
+// Equivalent implements Partitioner.
+func (r Range) Equivalent(other Partitioner) bool {
+	o, ok := other.(Range)
+	if !ok || len(o.bounds) != len(r.bounds) {
+		return false
+	}
+	if r.id != o.id {
+		return false
+	}
+	for i := range r.bounds {
+		if r.bounds[i] != o.bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns a copy of the boundary list.
+func (r Range) Bounds() []string {
+	b := make([]string, len(r.bounds))
+	copy(b, r.bounds)
+	return b
+}
+
+// Describe implements Partitioner.
+func (r Range) Describe() string {
+	if r.id == 0 {
+		return fmt.Sprintf("static-range(%d)", r.NumPartitions())
+	}
+	return fmt.Sprintf("range#%d(%d)", r.id, r.NumPartitions())
+}
+
+var (
+	_ Partitioner = Hash{}
+	_ Partitioner = Range{}
+)

@@ -1,0 +1,54 @@
+package rdd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders a lineage graph in Graphviz DOT form: one node per RDD with
+// its name, partition count, and state (cached / checkpointed), solid edges
+// for narrow dependencies and dashed bold edges for shuffles. Feed it to
+// `dot -Tsvg` to see what the scheduler and the CheckpointOptimizer see.
+func Dot(rdds []*RDD) string {
+	var b strings.Builder
+	b.WriteString("digraph lineage {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	for _, r := range rdds {
+		var marks []string
+		if r.CacheFlag {
+			marks = append(marks, "cached")
+		}
+		if r.Checkpointed {
+			marks = append(marks, "ckpt")
+		}
+		label := fmt.Sprintf("%s #%d\\n%d parts", escapeDot(r.Name), r.ID, r.Parts)
+		if len(marks) > 0 {
+			label += "\\n[" + strings.Join(marks, ",") + "]"
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if r.Checkpointed {
+			attrs += ", style=filled, fillcolor=lightblue"
+		} else if r.CacheFlag {
+			attrs += ", style=filled, fillcolor=lightyellow"
+		}
+		fmt.Fprintf(&b, "  r%d [%s];\n", r.ID, attrs)
+	}
+	for _, r := range rdds {
+		for _, d := range r.Deps {
+			if d.Shuffle {
+				fmt.Fprintf(&b, "  r%d -> r%d [style=dashed, penwidth=2, label=\"shuffle %d\", fontsize=9];\n",
+					d.Parent.ID, r.ID, d.ShuffleID)
+			} else {
+				fmt.Fprintf(&b, "  r%d -> r%d;\n", d.Parent.ID, r.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

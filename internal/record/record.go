@@ -1,0 +1,160 @@
+// Package record defines the key-value data model flowing through the
+// engine, together with size estimation used for cache accounting, shuffle
+// cost, and checkpoint cost. It mirrors Spark's PairRDD model: every record
+// is a (key, value) pair, and multi-dataset transformations (cogroup, join)
+// group values by key.
+package record
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Record is one key-value element of a dataset partition.
+type Record struct {
+	Key   string
+	Value any
+}
+
+// Pair builds a record; it exists so call sites read as data, not struct
+// literals.
+func Pair(key string, value any) Record { return Record{Key: key, Value: value} }
+
+// CoGrouped is the value type produced by CoGroup: one value slice per
+// parent dataset, in parent order. A key missing from parent i has an empty
+// Groups[i].
+type CoGrouped struct {
+	Groups [][]any
+}
+
+// Joined is the value type produced by Join: the cross-product element of
+// the two parents' values for a key.
+type Joined struct {
+	Left  any
+	Right any
+}
+
+const (
+	// recordOverhead approximates per-record object headers, pointers and
+	// alignment in a JVM-like memory layout. The simulation multiplies
+	// logical record counts by estimated bytes, so the constant only needs
+	// to be plausible and consistent.
+	recordOverhead = 32
+	stringOverhead = 16
+	sliceOverhead  = 24
+)
+
+// SizeOf estimates the in-memory footprint of a value in bytes. It supports
+// the value types the engine produces; unknown types fall back to a fixed
+// estimate so accounting never fails mid-job.
+func SizeOf(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint, uint64, float64, uintptr:
+		return 8
+	case string:
+		return stringOverhead + int64(len(x))
+	case []byte:
+		return sliceOverhead + int64(len(x))
+	case []any:
+		s := int64(sliceOverhead)
+		for _, e := range x {
+			s += 8 + SizeOf(e)
+		}
+		return s
+	case []string:
+		s := int64(sliceOverhead)
+		for _, e := range x {
+			s += stringOverhead + int64(len(e))
+		}
+		return s
+	case []int64:
+		return sliceOverhead + 8*int64(len(x))
+	case []float64:
+		return sliceOverhead + 8*int64(len(x))
+	case CoGrouped:
+		s := int64(sliceOverhead)
+		for _, g := range x.Groups {
+			s += SizeOf(g)
+		}
+		return s
+	case Joined:
+		return 16 + SizeOf(x.Left) + SizeOf(x.Right)
+	case map[string]int64:
+		s := int64(48)
+		for k := range x {
+			s += stringOverhead + int64(len(k)) + 8
+		}
+		return s
+	case fmt.Stringer:
+		return stringOverhead + int64(len(x.String()))
+	default:
+		return 64
+	}
+}
+
+// SizeOfRecord estimates the footprint of a full record.
+func SizeOfRecord(r Record) int64 {
+	return recordOverhead + stringOverhead + int64(len(r.Key)) + SizeOf(r.Value)
+}
+
+// SizeOfSlice estimates the footprint of a record slice (a partition's data).
+func SizeOfSlice(rs []Record) int64 {
+	s := int64(sliceOverhead)
+	for _, r := range rs {
+		s += SizeOfRecord(r)
+	}
+	return s
+}
+
+// GroupByKey groups a record slice into key -> values preserving first-seen
+// key order of iteration via the returned sorted keys. It is a helper for
+// reduce and cogroup implementations.
+func GroupByKey(rs []Record) (map[string][]any, []string) {
+	m := make(map[string][]any, len(rs))
+	var keys []string
+	for _, r := range rs {
+		if _, ok := m[r.Key]; !ok {
+			keys = append(keys, r.Key)
+		}
+		m[r.Key] = append(m[r.Key], r.Value)
+	}
+	sort.Strings(keys)
+	return m, keys
+}
+
+// AsInt64 converts numeric values the engine produces to int64, with ok
+// reporting success. Counting and reduce helpers use it to stay total.
+func AsInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint32:
+		return int64(x), true
+	case uint64:
+		return int64(x), true
+	case float64:
+		return int64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Clone copies a record slice. Partition data handed across executor
+// boundaries is cloned so caches never alias mutable slices.
+func Clone(rs []Record) []Record {
+	out := make([]Record, len(rs))
+	copy(out, rs)
+	return out
+}

@@ -1,0 +1,187 @@
+// Package replication implements Stark's contention-aware replication
+// policy (paper Sec. III-C3). Collection partitions receive time-varying,
+// non-uniform computational demand; the policy decides how many cached
+// replicas each unit deserves and which replicas to retire, based on two
+// signals:
+//
+//   - failed locality: a task for unit α launched remotely because α's
+//     executors were busy — evidence that α is hot (or its executors are
+//     oversubscribed), so α earned a new replica;
+//   - contention: an executor hosting many distinct units catalyzes cache
+//     eviction and makes locality harder for everyone, so cold units should
+//     de-replicate from it first.
+//
+// The engine feeds launch events in; the policy answers "should this
+// remote launch be adopted as a replica?" and "which replica should unit α
+// give up?". Demand is tracked with an exponentially decayed counter per
+// unit, so bursts age out.
+package replication
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// UnitKey names a collection unit: a namespace plus a partition or group id.
+type UnitKey struct {
+	Namespace string
+	Unit      int
+}
+
+// Config bounds the policy.
+type Config struct {
+	// MaxReplicas caps replicas per unit.
+	MaxReplicas int
+	// HalfLife is the decay half-life of the demand counters.
+	HalfLife time.Duration
+	// DemandPerReplica is how much decayed demand justifies one replica
+	// beyond the first.
+	DemandPerReplica float64
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig() Config {
+	return Config{
+		MaxReplicas:      4,
+		HalfLife:         30 * time.Second,
+		DemandPerReplica: 8,
+	}
+}
+
+type unitState struct {
+	demand    float64
+	updatedAt time.Duration
+	replicas  int
+}
+
+// Policy tracks per-unit demand on the virtual timeline. It is safe for
+// concurrent use.
+type Policy struct {
+	mu    sync.Mutex
+	cfg   Config
+	units map[UnitKey]*unitState
+}
+
+// NewPolicy builds a policy; zero-valued config fields fall back to
+// defaults.
+func NewPolicy(cfg Config) *Policy {
+	def := DefaultConfig()
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = def.MaxReplicas
+	}
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = def.HalfLife
+	}
+	if cfg.DemandPerReplica <= 0 {
+		cfg.DemandPerReplica = def.DemandPerReplica
+	}
+	return &Policy{cfg: cfg, units: make(map[UnitKey]*unitState)}
+}
+
+func (p *Policy) state(k UnitKey) *unitState {
+	st, ok := p.units[k]
+	if !ok {
+		st = &unitState{replicas: 1}
+		p.units[k] = st
+	}
+	return st
+}
+
+// decayTo ages a unit's demand to virtual time now.
+func (st *unitState) decayTo(now time.Duration, halfLife time.Duration) {
+	if now <= st.updatedAt {
+		return
+	}
+	dt := now - st.updatedAt
+	st.demand *= math.Exp2(-float64(dt) / float64(halfLife))
+	st.updatedAt = now
+}
+
+// OnLocalLaunch records a data-local task launch for the unit at virtual
+// time now.
+func (p *Policy) OnLocalLaunch(k UnitKey, now time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	st.decayTo(now, p.cfg.HalfLife)
+	st.demand++
+}
+
+// OnRemoteLaunch records a failed-locality launch — the paper's replication
+// signal — and reports whether the executor that ran the task should be
+// adopted as a replica.
+func (p *Policy) OnRemoteLaunch(k UnitKey, now time.Duration) (adopt bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	st.decayTo(now, p.cfg.HalfLife)
+	// Remote launches signal contention strongly.
+	st.demand += 2
+	if st.replicas >= p.cfg.MaxReplicas {
+		return false
+	}
+	if st.replicas < p.TargetLocked(st) {
+		st.replicas++
+		return true
+	}
+	return false
+}
+
+// TargetLocked computes the replica target for a unit's current demand.
+// Callers hold the mutex.
+func (p *Policy) TargetLocked(st *unitState) int {
+	t := 1 + int(st.demand/p.cfg.DemandPerReplica)
+	if t > p.cfg.MaxReplicas {
+		t = p.cfg.MaxReplicas
+	}
+	return t
+}
+
+// Target reports the unit's current replica target at virtual time now.
+func (p *Policy) Target(k UnitKey, now time.Duration) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	st.decayTo(now, p.cfg.HalfLife)
+	return p.TargetLocked(st)
+}
+
+// Replicas reports the policy's view of a unit's replica count.
+func (p *Policy) Replicas(k UnitKey) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state(k).replicas
+}
+
+// ShouldDeReplicate reports whether the unit's demand has decayed below its
+// replica count, i.e. one replica should be retired (paper: excessive
+// replication "catalyzes cache eviction"). The caller performs the actual
+// cache drop and then confirms with Dropped.
+func (p *Policy) ShouldDeReplicate(k UnitKey, now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	st.decayTo(now, p.cfg.HalfLife)
+	return st.replicas > p.TargetLocked(st)
+}
+
+// Dropped records that one replica of the unit was retired (either by the
+// de-replication path or by cache eviction).
+func (p *Policy) Dropped(k UnitKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	if st.replicas > 1 {
+		st.replicas--
+	}
+}
+
+// Demand exposes a unit's decayed demand (diagnostics).
+func (p *Policy) Demand(k UnitKey, now time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(k)
+	st.decayTo(now, p.cfg.HalfLife)
+	return st.demand
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"stark/internal/partition"
+	"stark/internal/rdd"
+	"stark/internal/record"
+)
+
+func keepAll(record.Record) bool { return true }
+
+func TestBuildSingleStage(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", make([][]record.Record, 3), false)
+	f := g.Filter(src, "f", keepAll)
+	result := Build(f)
+	if result.ShuffleMap || result.Output != f || len(result.Parents) != 0 {
+		t.Fatalf("result = %+v", result)
+	}
+	if result.NumTasks() != 3 {
+		t.Fatalf("tasks = %d", result.NumTasks())
+	}
+	chain := result.NarrowChain()
+	if len(chain) != 2 || chain[0] != f || chain[1] != src {
+		t.Fatalf("chain = %v", chain)
+	}
+}
+
+func TestBuildTwoStages(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", make([][]record.Record, 2), true)
+	m := g.Map(src, "m", false, func(r record.Record) record.Record { return r })
+	pb := g.PartitionBy(m, "pb", partition.NewHash(4))
+	c := g.Filter(pb, "c", keepAll)
+	result := Build(c)
+	if len(result.Parents) != 1 {
+		t.Fatalf("parents = %v", result.Parents)
+	}
+	mapStage := result.Parents[0]
+	if !mapStage.ShuffleMap || mapStage.Output != m || mapStage.Consumer != pb {
+		t.Fatalf("map stage = %+v", mapStage)
+	}
+	if mapStage.NumTasks() != 2 || result.NumTasks() != 4 {
+		t.Fatalf("tasks = %d, %d", mapStage.NumTasks(), result.NumTasks())
+	}
+	all := AllStages(result)
+	if len(all) != 2 || all[0] != mapStage || all[1] != result {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestBuildSharedShuffleParent(t *testing.T) {
+	// Diamond: one shuffle feeding two narrow branches cogrouped together;
+	// the map stage must be created once.
+	g := rdd.NewGraph()
+	src := g.Source("src", make([][]record.Record, 2), false)
+	p := partition.NewHash(2)
+	pb := g.PartitionBy(src, "pb", p)
+	b1 := g.Filter(pb, "b1", keepAll)
+	b2 := g.Filter(pb, "b2", keepAll)
+	cg := g.CoGroup("cg", p, b1, b2)
+	if !cg.Narrow() {
+		t.Fatal("setup: cogroup should be narrow")
+	}
+	result := Build(cg)
+	if len(result.Parents) != 1 {
+		t.Fatalf("parents = %v", result.Parents)
+	}
+	if got := len(AllStages(result)); got != 2 {
+		t.Fatalf("stages = %d", got)
+	}
+	// Narrow chain spans cogroup, both branches and the shuffled RDD.
+	if got := len(result.NarrowChain()); got != 4 {
+		t.Fatalf("chain = %d", got)
+	}
+}
+
+func TestBuildWideCoGroup(t *testing.T) {
+	// CoGroup of two differently partitioned RDDs: two shuffle-map parents.
+	g := rdd.NewGraph()
+	a := g.Source("a", make([][]record.Record, 2), false)
+	b := g.Source("b", make([][]record.Record, 3), false)
+	cg := g.CoGroup("cg", partition.NewHash(4), a, b)
+	result := Build(cg)
+	if len(result.Parents) != 2 {
+		t.Fatalf("parents = %d", len(result.Parents))
+	}
+	if result.Parents[0].Output != a || result.Parents[1].Output != b {
+		t.Fatalf("parent outputs wrong")
+	}
+	if result.Parents[0].ShuffleID >= result.Parents[1].ShuffleID {
+		t.Fatal("parent order not by shuffle id")
+	}
+}
+
+func TestBuildChainedShuffles(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", make([][]record.Record, 2), false)
+	s1 := g.PartitionBy(src, "s1", partition.NewHash(2))
+	s2 := g.ReduceByKey(s1, "s2", partition.NewHash(4), func(a, b any) any { return a })
+	result := Build(s2)
+	all := AllStages(result)
+	if len(all) != 3 {
+		t.Fatalf("stages = %d", len(all))
+	}
+	// Order: deepest map stage first.
+	if all[0].Output != src || all[1].Output != s1 || all[2] != result {
+		t.Fatalf("order wrong: %v", all)
+	}
+}
+
+func TestCheckpointCutsLineage(t *testing.T) {
+	g := rdd.NewGraph()
+	src := g.Source("src", make([][]record.Record, 2), false)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(2))
+	f := g.Filter(pb, "f", keepAll)
+	f2 := g.Filter(f, "f2", keepAll)
+	f.Checkpointed = true
+	result := Build(f2)
+	if len(result.Parents) != 0 {
+		t.Fatalf("checkpointed lineage still has parents: %v", result.Parents)
+	}
+	chain := result.NarrowChain()
+	if len(chain) != 2 || chain[1] != f {
+		t.Fatalf("chain = %v", chain)
+	}
+}
+
+// TestRandomDAGStageInvariants builds random lineages and checks structural
+// invariants of the stage DAG: topological order (parents before children),
+// narrow chains never crossing shuffles, and one stage per shuffle id.
+func TestRandomDAGStageInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdd.NewGraph()
+		nodes := []*rdd.RDD{g.Source("src", make([][]record.Record, 2), false)}
+		for i := 0; i < 12; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			var n *rdd.RDD
+			switch rng.Intn(4) {
+			case 0:
+				n = g.Filter(parent, "f", keepAll)
+			case 1:
+				n = g.Map(parent, "m", rng.Intn(2) == 0, func(r record.Record) record.Record { return r })
+			case 2:
+				n = g.PartitionBy(parent, "pb", partition.NewHash(1+rng.Intn(4)))
+			default:
+				other := nodes[rng.Intn(len(nodes))]
+				n = g.CoGroup("cg", partition.NewHash(1+rng.Intn(4)), parent, other)
+			}
+			nodes = append(nodes, n)
+		}
+		final := nodes[len(nodes)-1]
+		result := Build(final)
+		all := AllStages(result)
+
+		pos := map[int]int{}
+		for i, st := range all {
+			pos[st.ID] = i
+		}
+		seenShuffle := map[int]bool{}
+		for _, st := range all {
+			for _, p := range st.Parents {
+				if pos[p.ID] >= pos[st.ID] {
+					t.Fatalf("seed %d: parent stage %d not before child %d", seed, p.ID, st.ID)
+				}
+			}
+			if st.ShuffleMap {
+				if seenShuffle[st.ShuffleID] {
+					t.Fatalf("seed %d: shuffle %d has two map stages", seed, st.ShuffleID)
+				}
+				seenShuffle[st.ShuffleID] = true
+			}
+			// NarrowChain must be reachable from Output without shuffle deps.
+			chainSet := map[int]bool{}
+			for _, r := range st.NarrowChain() {
+				chainSet[r.ID] = true
+			}
+			for _, r := range st.NarrowChain() {
+				if r.Checkpointed {
+					continue
+				}
+				for _, d := range r.Deps {
+					if d.Shuffle && chainSet[d.Parent.ID] {
+						t.Fatalf("seed %d: narrow chain crosses shuffle into rdd %d", seed, d.Parent.ID)
+					}
+				}
+			}
+		}
+		if all[len(all)-1] != result {
+			t.Fatalf("seed %d: result stage not last", seed)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package storage simulates the persistent layer under the engine: the
+// HDFS-like store where shuffle map tasks commit their outputs (paper
+// Sec. II-A: "shuffle maps always commit outputs into persistent storage")
+// and where checkpoints are written. Data here survives cache eviction and
+// executor failure; reading and writing it is charged disk/network time by
+// the engine's cost model.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"stark/internal/record"
+)
+
+// Bucket is one (map partition → reduce partition) shuffle output file.
+type Bucket struct {
+	Data  []record.Record
+	Bytes int64
+}
+
+type shuffleState struct {
+	numMaps    int
+	numReduces int
+	// outputs[mapPart][reducePart]
+	outputs map[int]map[int]Bucket
+	// byReduce indexes buckets per reduce partition in map-partition order,
+	// so ReadReduce is O(buckets present) instead of O(numMaps) — essential
+	// for the partition-count sweep (Fig. 7) at 10^5 partitions. Invalidated
+	// by overwrites and rebuilt lazily.
+	byReduce map[int][]reduceBucket
+	dirty    bool
+}
+
+type reduceBucket struct {
+	mapPart int
+	b       Bucket
+}
+
+func (st *shuffleState) rebuildIndex() {
+	st.byReduce = make(map[int][]reduceBucket)
+	for m := 0; m < st.numMaps; m++ {
+		for r, b := range st.outputs[m] {
+			st.byReduce[r] = append(st.byReduce[r], reduceBucket{mapPart: m, b: b})
+		}
+	}
+	for r := range st.byReduce {
+		bs := st.byReduce[r]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].mapPart < bs[j].mapPart })
+	}
+	st.dirty = false
+}
+
+type checkpointKey struct {
+	rdd  int
+	part int
+}
+
+// Store is the persistent store. It is not safe for concurrent use; the
+// discrete-event engine is single-threaded by construction.
+type Store struct {
+	shuffles    map[int]*shuffleState
+	checkpoints map[checkpointKey]Bucket
+	// cpBytes accumulates total checkpointed bytes ever written, the
+	// quantity Fig. 18 plots.
+	cpBytes int64
+}
+
+// NewStore returns an empty persistent store.
+func NewStore() *Store {
+	return &Store{
+		shuffles:    make(map[int]*shuffleState),
+		checkpoints: make(map[checkpointKey]Bucket),
+	}
+}
+
+// RegisterShuffle declares a shuffle's geometry. Re-registering with the
+// same geometry is a no-op; conflicting geometry is an error.
+func (s *Store) RegisterShuffle(id, numMaps, numReduces int) error {
+	if st, ok := s.shuffles[id]; ok {
+		if st.numMaps != numMaps || st.numReduces != numReduces {
+			return fmt.Errorf("storage: shuffle %d re-registered with different geometry", id)
+		}
+		return nil
+	}
+	s.shuffles[id] = &shuffleState{
+		numMaps:    numMaps,
+		numReduces: numReduces,
+		outputs:    make(map[int]map[int]Bucket),
+		byReduce:   make(map[int][]reduceBucket),
+	}
+	return nil
+}
+
+// WriteMapOutput commits one map task's buckets. Overwrites (speculative or
+// recomputed tasks) are allowed and idempotent in effect.
+func (s *Store) WriteMapOutput(id, mapPart int, buckets map[int]Bucket) error {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return fmt.Errorf("storage: unknown shuffle %d", id)
+	}
+	if mapPart < 0 || mapPart >= st.numMaps {
+		return fmt.Errorf("storage: shuffle %d map partition %d out of range [0,%d)", id, mapPart, st.numMaps)
+	}
+	cp := make(map[int]Bucket, len(buckets))
+	for r, b := range buckets {
+		if r < 0 || r >= st.numReduces {
+			return fmt.Errorf("storage: shuffle %d reduce partition %d out of range [0,%d)", id, r, st.numReduces)
+		}
+		cp[r] = b
+	}
+	if _, overwrite := st.outputs[mapPart]; overwrite {
+		st.dirty = true
+	} else if !st.dirty {
+		for r, b := range cp {
+			st.byReduce[r] = append(st.byReduce[r], reduceBucket{mapPart: mapPart, b: b})
+		}
+	}
+	st.outputs[mapPart] = cp
+	return nil
+}
+
+// HasMapOutput reports whether a map partition's output is committed.
+func (s *Store) HasMapOutput(id, mapPart int) bool {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return false
+	}
+	_, done := st.outputs[mapPart]
+	return done
+}
+
+// ShuffleComplete reports whether every map partition has committed output,
+// i.e. reducers can run. An unregistered shuffle is not complete.
+func (s *Store) ShuffleComplete(id int) bool {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return false
+	}
+	return len(st.outputs) == st.numMaps
+}
+
+// MissingMapOutputs lists the map partitions that still need to run.
+func (s *Store) MissingMapOutputs(id int) []int {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return nil
+	}
+	var missing []int
+	for m := 0; m < st.numMaps; m++ {
+		if _, done := st.outputs[m]; !done {
+			missing = append(missing, m)
+		}
+	}
+	return missing
+}
+
+// ReadReduce concatenates every map output bucket for one reduce partition,
+// returning the records and total bytes fetched. It fails if the shuffle is
+// incomplete, because a real reducer would block.
+func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: unknown shuffle %d", id)
+	}
+	if len(st.outputs) != st.numMaps {
+		return nil, 0, fmt.Errorf("storage: shuffle %d incomplete: %d/%d map outputs", id, len(st.outputs), st.numMaps)
+	}
+	if st.dirty {
+		st.rebuildIndex()
+	}
+	var out []record.Record
+	var bytes int64
+	for _, rb := range st.byReduce[reducePart] {
+		out = append(out, rb.b.Data...)
+		bytes += rb.b.Bytes
+	}
+	return out, bytes, nil
+}
+
+// WriteCheckpoint persists one partition of an RDD and accounts its bytes
+// toward the running checkpoint total.
+func (s *Store) WriteCheckpoint(rdd, part int, data []record.Record, bytes int64) {
+	k := checkpointKey{rdd: rdd, part: part}
+	if old, ok := s.checkpoints[k]; ok {
+		s.cpBytes -= old.Bytes
+	}
+	s.checkpoints[k] = Bucket{Data: data, Bytes: bytes}
+	s.cpBytes += bytes
+}
+
+// HasCheckpoint reports whether a partition checkpoint exists.
+func (s *Store) HasCheckpoint(rdd, part int) bool {
+	_, ok := s.checkpoints[checkpointKey{rdd: rdd, part: part}]
+	return ok
+}
+
+// ReadCheckpoint loads a partition checkpoint.
+func (s *Store) ReadCheckpoint(rdd, part int) ([]record.Record, int64, error) {
+	b, ok := s.checkpoints[checkpointKey{rdd: rdd, part: part}]
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: no checkpoint for rdd %d partition %d", rdd, part)
+	}
+	return b.Data, b.Bytes, nil
+}
+
+// TotalCheckpointBytes reports cumulative live checkpoint bytes.
+func (s *Store) TotalCheckpointBytes() int64 { return s.cpBytes }
+
+// DropShuffle discards a shuffle's outputs (dataset eviction).
+func (s *Store) DropShuffle(id int) { delete(s.shuffles, id) }
+
+// DropCheckpoints discards all checkpoints of an RDD, subtracting their
+// bytes from the running total.
+func (s *Store) DropCheckpoints(rdd int) {
+	for k, b := range s.checkpoints {
+		if k.rdd == rdd {
+			s.cpBytes -= b.Bytes
+			delete(s.checkpoints, k)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"testing"
+
+	"stark/internal/record"
+)
+
+func TestShuffleLifecycle(t *testing.T) {
+	s := NewStore()
+	if err := s.RegisterShuffle(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterShuffle(1, 2, 3); err != nil {
+		t.Fatalf("idempotent register: %v", err)
+	}
+	if err := s.RegisterShuffle(1, 4, 3); err == nil {
+		t.Fatal("conflicting geometry accepted")
+	}
+	if s.ShuffleComplete(1) {
+		t.Fatal("empty shuffle complete")
+	}
+	if got := s.MissingMapOutputs(1); len(got) != 2 {
+		t.Fatalf("missing = %v", got)
+	}
+	if err := s.WriteMapOutput(1, 0, map[int]Bucket{
+		0: {Data: []record.Record{record.Pair("a", 1)}, Bytes: 10},
+		2: {Data: []record.Record{record.Pair("c", 1)}, Bytes: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadReduce(1, 0); err == nil {
+		t.Fatal("read from incomplete shuffle succeeded")
+	}
+	if err := s.WriteMapOutput(1, 1, map[int]Bucket{
+		0: {Data: []record.Record{record.Pair("a2", 1)}, Bytes: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ShuffleComplete(1) {
+		t.Fatal("shuffle not complete")
+	}
+	data, bytes, err := s.ReadReduce(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || bytes != 15 {
+		t.Fatalf("data=%v bytes=%d", data, bytes)
+	}
+	// Reduce partition with no buckets reads empty.
+	data, bytes, err = s.ReadReduce(1, 1)
+	if err != nil || len(data) != 0 || bytes != 0 {
+		t.Fatalf("empty reduce: %v %d %v", data, bytes, err)
+	}
+}
+
+func TestShuffleValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.WriteMapOutput(9, 0, nil); err == nil {
+		t.Fatal("write to unknown shuffle accepted")
+	}
+	if _, _, err := s.ReadReduce(9, 0); err == nil {
+		t.Fatal("read unknown shuffle accepted")
+	}
+	if err := s.RegisterShuffle(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMapOutput(2, 5, nil); err == nil {
+		t.Fatal("out-of-range map partition accepted")
+	}
+	if err := s.WriteMapOutput(2, 0, map[int]Bucket{7: {}}); err == nil {
+		t.Fatal("out-of-range reduce partition accepted")
+	}
+}
+
+func TestMapOutputOverwrite(t *testing.T) {
+	s := NewStore()
+	if err := s.RegisterShuffle(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMapOutput(1, 0, map[int]Bucket{0: {Bytes: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMapOutput(1, 0, map[int]Bucket{0: {Bytes: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	_, bytes, err := s.ReadReduce(1, 0)
+	if err != nil || bytes != 30 {
+		t.Fatalf("bytes = %d, %v", bytes, err)
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	s := NewStore()
+	if s.HasCheckpoint(1, 0) {
+		t.Fatal("phantom checkpoint")
+	}
+	s.WriteCheckpoint(1, 0, []record.Record{record.Pair("k", 1)}, 100)
+	s.WriteCheckpoint(1, 1, nil, 50)
+	if !s.HasCheckpoint(1, 0) || !s.HasCheckpoint(1, 1) {
+		t.Fatal("checkpoints missing")
+	}
+	if s.TotalCheckpointBytes() != 150 {
+		t.Fatalf("total = %d", s.TotalCheckpointBytes())
+	}
+	data, bytes, err := s.ReadCheckpoint(1, 0)
+	if err != nil || bytes != 100 || len(data) != 1 {
+		t.Fatalf("read: %v %d %v", data, bytes, err)
+	}
+	if _, _, err := s.ReadCheckpoint(2, 0); err == nil {
+		t.Fatal("read missing checkpoint succeeded")
+	}
+	// Overwrite adjusts the running total instead of double counting.
+	s.WriteCheckpoint(1, 0, nil, 80)
+	if s.TotalCheckpointBytes() != 130 {
+		t.Fatalf("total after overwrite = %d", s.TotalCheckpointBytes())
+	}
+	s.DropCheckpoints(1)
+	if s.TotalCheckpointBytes() != 0 || s.HasCheckpoint(1, 0) {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestDropShuffle(t *testing.T) {
+	s := NewStore()
+	if err := s.RegisterShuffle(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMapOutput(1, 0, map[int]Bucket{0: {Bytes: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.DropShuffle(1)
+	if s.ShuffleComplete(1) || s.HasMapOutput(1, 0) {
+		t.Fatal("shuffle survived drop")
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stark/internal/record"
+)
+
+// SyslogConfig synthesizes per-service system-log datasets for the paper's
+// IT-forensics scenario (Sec. I: "An IT administrator may dynamically load
+// and evict various system log datasets for diagnosis, and run interactive
+// queries on subsets of those datasets"). Each dataset is one service's
+// logs for one time window; an optional incident injects a correlated error
+// burst across services, giving the forensics queries something to find.
+type SyslogConfig struct {
+	Seed     int64
+	Services []string
+	// LinesPerDataset is the average log volume per (service, window).
+	LinesPerDataset int
+	// ErrorRate is the background error fraction.
+	ErrorRate float64
+	// Incident, when non-nil, boosts error rates in the configured window.
+	Incident *Incident
+}
+
+// Incident is a correlated failure: services in Blast emit errors at
+// BurstRate during window [FromWindow, ToWindow].
+type Incident struct {
+	FromWindow, ToWindow int
+	Blast                []string
+	BurstRate            float64
+}
+
+// DefaultSyslog returns a five-service fleet with a mid-run incident that
+// blasts the api and db tiers.
+func DefaultSyslog() SyslogConfig {
+	return SyslogConfig{
+		Seed:            17,
+		Services:        []string{"api", "db", "cache", "auth", "worker"},
+		LinesPerDataset: 8000,
+		ErrorRate:       0.01,
+		Incident: &Incident{
+			FromWindow: 2, ToWindow: 3,
+			Blast:     []string{"api", "db"},
+			BurstRate: 0.25,
+		},
+	}
+}
+
+func (c SyslogConfig) errorRate(service string, window int) float64 {
+	inc := c.Incident
+	if inc == nil || window < inc.FromWindow || window > inc.ToWindow {
+		return c.ErrorRate
+	}
+	for _, s := range inc.Blast {
+		if s == service {
+			return inc.BurstRate
+		}
+	}
+	return c.ErrorRate
+}
+
+// Dataset generates the log dataset of one service for one time window:
+// key = host, value = a log line whose severity reflects the incident
+// schedule.
+func (c SyslogConfig) Dataset(service string, window int) []record.Record {
+	rng := rand.New(rand.NewSource(c.Seed + int64(window)*1_000_003 + hashString(service)))
+	rate := c.errorRate(service, window)
+	out := make([]record.Record, 0, c.LinesPerDataset)
+	for i := 0; i < c.LinesPerDataset; i++ {
+		host := fmt.Sprintf("%s-%02d", service, rng.Intn(16))
+		sev := "INFO"
+		detail := fmt.Sprintf("req=%06d latency=%dms", rng.Intn(1_000_000), rng.Intn(200))
+		if rng.Float64() < rate {
+			sev = "ERROR"
+			detail = fmt.Sprintf("req=%06d err=%s", rng.Intn(1_000_000), errKinds[rng.Intn(len(errKinds))])
+		}
+		line := fmt.Sprintf("%s w%02d %s %s %s", sev, window, service, host, detail)
+		out = append(out, record.Pair(host, line))
+	}
+	return out
+}
+
+var errKinds = []string{"timeout", "conn-refused", "oom", "disk-full", "checksum"}
+
+func hashString(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

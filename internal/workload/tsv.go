@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stark/internal/record"
+)
+
+// TSV serialization for traces: one record per line,
+// `tag \t index \t key \t value`. Values round-trip as strings (the trace
+// generators only emit string values); tags and indices let one file carry
+// multiple datasets.
+
+// WriteTSV emits records under the given tag and dataset index.
+func WriteTSV(w io.Writer, tag string, index int, recs []record.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		v := fmt.Sprintf("%v", r.Value)
+		if strings.ContainsAny(r.Key, "\t\n") || strings.ContainsAny(v, "\t\n") {
+			return fmt.Errorf("workload: record %q contains tab/newline; not TSV-safe", r.Key)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%s\n", tag, index, r.Key, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TSVDataset is one (tag, index) group read back from a TSV stream.
+type TSVDataset struct {
+	Tag     string
+	Index   int
+	Records []record.Record
+}
+
+// ReadTSV parses a TSV trace stream into datasets, preserving first-seen
+// (tag, index) order. Malformed lines are rejected with their line number.
+func ReadTSV(r io.Reader) ([]TSVDataset, error) {
+	type key struct {
+		tag   string
+		index int
+	}
+	var order []key
+	data := make(map[key][]record.Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workload: line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		idx, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad index %q: %v", lineNo, parts[1], err)
+		}
+		k := key{tag: parts[0], index: idx}
+		if _, seen := data[k]; !seen {
+			order = append(order, k)
+		}
+		data[k] = append(data[k], record.Pair(parts[2], parts[3]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading TSV: %w", err)
+	}
+	out := make([]TSVDataset, 0, len(order))
+	for _, k := range order {
+		out = append(out, TSVDataset{Tag: k.tag, Index: k.index, Records: data[k]})
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"stark/internal/record"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	taxi := DefaultTaxi()
+	taxi.EventsPerStep = 50
+	var sb strings.Builder
+	for step := 0; step < 3; step++ {
+		if err := WriteTSV(&sb, "taxi", step, taxi.Step(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("datasets = %d", len(sets))
+	}
+	for step, ds := range sets {
+		if ds.Tag != "taxi" || ds.Index != step {
+			t.Fatalf("dataset %d = %s/%d", step, ds.Tag, ds.Index)
+		}
+		want := taxi.Step(step)
+		if len(ds.Records) != len(want) {
+			t.Fatalf("step %d: %d records, want %d", step, len(ds.Records), len(want))
+		}
+		for i := range want {
+			if ds.Records[i].Key != want[i].Key {
+				t.Fatalf("step %d record %d key %q != %q", step, i, ds.Records[i].Key, want[i].Key)
+			}
+			if ds.Records[i].Value.(string) != want[i].Value.(string) {
+				t.Fatalf("step %d record %d value mismatch", step, i)
+			}
+		}
+	}
+}
+
+func TestTSVRejectsUnsafe(t *testing.T) {
+	err := WriteTSV(&strings.Builder{}, "t", 0, []record.Record{record.Pair("a\tb", "v")})
+	if err == nil {
+		t.Fatal("tab in key accepted")
+	}
+	err = WriteTSV(&strings.Builder{}, "t", 0, []record.Record{record.Pair("k", "line\nbreak")})
+	if err == nil {
+		t.Fatal("newline in value accepted")
+	}
+}
+
+func TestTSVParseErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("only\tthree\tfields\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("t\tnotanumber\tk\tv\n")); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	// Blank lines are skipped.
+	sets, err := ReadTSV(strings.NewReader("\nt\t0\tk\tv\n\n"))
+	if err != nil || len(sets) != 1 || len(sets[0].Records) != 1 {
+		t.Fatalf("sets=%v err=%v", sets, err)
+	}
+}
+
+func TestTSVMultipleTags(t *testing.T) {
+	in := "a\t0\tk1\tv1\nb\t0\tk2\tv2\na\t1\tk3\tv3\n"
+	sets, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if sets[0].Tag != "a" || sets[1].Tag != "b" || sets[2].Index != 1 {
+		t.Fatalf("order wrong: %+v", sets)
+	}
+}

@@ -1,0 +1,29 @@
+package zorder
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint32(i), uint32(i*7))
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		x, y := Decode(uint64(i) * 2654435761)
+		sink += x + y
+	}
+	_ = sink
+}
+
+func BenchmarkGridEncodePoint(b *testing.B) {
+	g := NewGrid(64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.EncodePoint(float64(i%1000)/1000, float64(i%997)/997)
+	}
+	_ = sink
+}

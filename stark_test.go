@@ -1,0 +1,518 @@
+package stark
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func makeRecords(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Pair(fmt.Sprintf("key-%04d", i), int64(i))
+	}
+	return out
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ctx := NewContext(WithExecutors(4), WithSlots(2), WithSeed(7))
+	data := ctx.Parallelize("data", makeRecords(200), 4)
+	evens := data.Filter(func(r Record) bool {
+		return strings.HasSuffix(r.Key, "0") || strings.HasSuffix(r.Key, "2")
+	})
+	n, stats, err := evens.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("count = %d", n)
+	}
+	if stats.Makespan() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestMapAndMapValues(t *testing.T) {
+	ctx := NewContext()
+	p := NewHashPartitioner(4)
+	data := ctx.Parallelize("d", makeRecords(40), 2).PartitionBy(p)
+	mv := data.MapValues(func(r Record) Record { return Pair(r.Key, "x") })
+	recs, _, err := mv.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 || recs[0].Value != "x" {
+		t.Fatalf("collect = %d %v", len(recs), recs[0])
+	}
+	m := data.Map(func(r Record) Record { return Pair("all", r.Value) })
+	n, _, err := m.Count()
+	if err != nil || n != 40 {
+		t.Fatalf("map count = %d err=%v", n, err)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	ctx := NewContext()
+	data := ctx.Parallelize("d", makeRecords(10), 2)
+	fm := data.FlatMap(func(r Record) []Record { return []Record{r, r, r} })
+	if got := fm.MustCount(); got != 30 {
+		t.Fatalf("flatMap count = %d", got)
+	}
+}
+
+func TestReduceByKeyPublic(t *testing.T) {
+	ctx := NewContext()
+	recs := []Record{Pair("a", int64(1)), Pair("b", int64(5)), Pair("a", int64(2))}
+	sums := ctx.Parallelize("d", recs, 2).ReduceByKey(NewHashPartitioner(2), func(a, b any) any {
+		return a.(int64) + b.(int64)
+	})
+	got, _, err := sums.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]any{}
+	for _, r := range got {
+		m[r.Key] = r.Value
+	}
+	if m["a"] != int64(3) || m["b"] != int64(5) {
+		t.Fatalf("sums = %v", m)
+	}
+}
+
+func TestJoinPublic(t *testing.T) {
+	ctx := NewContext()
+	p := NewHashPartitioner(2)
+	left := ctx.Parallelize("l", []Record{Pair("k", "lv")}, 1)
+	right := ctx.Parallelize("r", []Record{Pair("k", "rv"), Pair("z", "zv")}, 1)
+	j := ctx.Join(p, left, right)
+	recs, _, err := j.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("join = %v", recs)
+	}
+	jv := recs[0].Value.(Joined)
+	if jv.Left != "lv" || jv.Right != "rv" {
+		t.Fatalf("joined = %+v", jv)
+	}
+}
+
+func TestCoLocalityEndToEnd(t *testing.T) {
+	ctx := NewContext(WithCoLocality(), WithExecutors(4), WithSeed(3))
+	p := NewHashPartitioner(4)
+	if err := ctx.RegisterNamespace("logs", p, 1); err != nil {
+		t.Fatal(err)
+	}
+	var hours []*RDD
+	for h := 0; h < 3; h++ {
+		r := ctx.TextFile(fmt.Sprintf("hour%d", h), makeRecords(100), 2).
+			LocalityPartitionBy(p, "logs").
+			Cache()
+		r.MustCount()
+		hours = append(hours, r)
+	}
+	cg := ctx.CoGroup(p, hours...)
+	_, stats, err := cg.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LocalityFraction() != 1.0 {
+		t.Fatalf("locality = %v", stats.LocalityFraction())
+	}
+}
+
+func TestCheckpointPublic(t *testing.T) {
+	ctx := NewContext()
+	r := ctx.Parallelize("d", makeRecords(50), 2).Filter(func(Record) bool { return true }).Cache()
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsCheckpointed() {
+		t.Fatal("premature checkpoint")
+	}
+	r.Checkpoint()
+	if !r.IsCheckpointed() || ctx.TotalCheckpointBytes() == 0 {
+		t.Fatal("checkpoint missing")
+	}
+}
+
+func TestStreamPublic(t *testing.T) {
+	ctx := NewContext(WithCoLocality(), WithExecutors(4))
+	p := NewHashPartitioner(4)
+	s, err := ctx.NewStream(StreamConfig{
+		Name: "taxi", Partitioner: p, Namespace: "taxi", Window: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4; step++ {
+		s.Ingest(step, makeRecords(60))
+		ctx.Drain()
+	}
+	if s.Step(0) != nil {
+		t.Fatal("window eviction failed")
+	}
+	window := s.Recent(3)
+	if len(window) != 3 {
+		t.Fatalf("recent = %d", len(window))
+	}
+	cg := window[0].CoGroup(p, window[1:]...)
+	if got := cg.MustCount(); got != 60 {
+		t.Fatalf("cogroup keys = %d", got)
+	}
+}
+
+func TestOpenLoopPublic(t *testing.T) {
+	ctx := NewContext(WithExecutors(4))
+	base := ctx.Parallelize("d", makeRecords(500), 4).Cache()
+	if _, err := base.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	results := ctx.OpenLoop(time.Millisecond, 8, func(i int) *RDD {
+		return base.Filter(func(Record) bool { return true })
+	})
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if MeanDelay(results) <= 0 {
+		t.Fatal("no delay measured")
+	}
+	for _, r := range results {
+		if r.Count != 500 {
+			t.Fatalf("query %d count = %d", r.Index, r.Count)
+		}
+	}
+}
+
+func TestFailureInjectionPublic(t *testing.T) {
+	ctx := NewContext(WithExecutors(4))
+	r := ctx.Parallelize("d", makeRecords(100), 4).PartitionBy(NewHashPartitioner(4)).Cache()
+	n1 := r.MustCount()
+	ctx.KillExecutor(0)
+	n2 := r.Filter(func(Record) bool { return true }).MustCount()
+	if n1 != n2 {
+		t.Fatalf("counts differ after failure: %d vs %d", n1, n2)
+	}
+	ctx.RestartExecutor(0)
+	if ctx.NumExecutors() != 4 {
+		t.Fatal("executors miscounted")
+	}
+}
+
+func TestExtendablePublic(t *testing.T) {
+	ctx := NewContext(
+		WithExtendable(GroupBounds(1, 0, 1)), // split everything
+		WithExecutors(4),
+	)
+	p := NewHashPartitioner(8)
+	if err := ctx.RegisterNamespace("ns", p, 2); err != nil {
+		t.Fatal(err)
+	}
+	r := ctx.Parallelize("d", makeRecords(100), 2).LocalityPartitionBy(p, "ns").Cache()
+	r.MustCount()
+	changes, err := ctx.ReportRDD(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) == 0 {
+		t.Fatal("no splits under tiny MaxBytes")
+	}
+	sizes := r.PartitionSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestZGridPublic(t *testing.T) {
+	g := NewZGrid(8)
+	if g.Side() != 8 {
+		t.Fatal("side wrong")
+	}
+	k1 := g.Key(0.1, 0.1)
+	k2 := g.Key(0.9, 0.9)
+	if len(k1) != 16 || k1 >= k2 {
+		t.Fatalf("keys %q %q", k1, k2)
+	}
+}
+
+func TestRangePartitionersPublic(t *testing.T) {
+	static := NewStaticRangePartitioner(UniformKeyBounds(4))
+	if static.NumPartitions() != 4 {
+		t.Fatal("static partitions wrong")
+	}
+	fitted := NewRangePartitioner([]string{"a", "b", "c", "d"}, 2)
+	if fitted.Equivalent(NewRangePartitioner([]string{"a", "b", "c", "d"}, 2)) {
+		t.Fatal("fresh range partitioners must not be equivalent")
+	}
+	hexed := NewStaticRangePartitioner(HexKeyBounds(4, 16))
+	if hexed.NumPartitions() != 4 {
+		t.Fatal("hex partitions wrong")
+	}
+}
+
+func TestUnionPublic(t *testing.T) {
+	ctx := NewContext()
+	a := ctx.Parallelize("a", makeRecords(30), 2)
+	b := ctx.Parallelize("b", makeRecords(20), 3)
+	u := a.Union(b)
+	if u.NumPartitions() != 5 {
+		t.Fatalf("partitions = %d", u.NumPartitions())
+	}
+	if got := u.MustCount(); got != 50 {
+		t.Fatalf("count = %d", got)
+	}
+	recs, _, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("collect = %d", len(recs))
+	}
+}
+
+func TestDistinctPublic(t *testing.T) {
+	ctx := NewContext()
+	recs := []Record{Pair("a", 1), Pair("a", 2), Pair("b", 3), Pair("a", 4)}
+	d := ctx.Parallelize("d", recs, 2).Distinct(NewHashPartitioner(2))
+	if got := d.MustCount(); got != 2 {
+		t.Fatalf("distinct count = %d", got)
+	}
+}
+
+func TestGroupByKeyPublic(t *testing.T) {
+	ctx := NewContext()
+	recs := []Record{Pair("a", 1), Pair("b", 2), Pair("a", 3)}
+	g := ctx.Parallelize("d", recs, 2).GroupByKey(NewHashPartitioner(2))
+	out, _, err := g.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]int{}
+	for _, r := range out {
+		byKey[r.Key] = len(r.Value.([]any))
+	}
+	if byKey["a"] != 2 || byKey["b"] != 1 {
+		t.Fatalf("groups = %v", byKey)
+	}
+	// Narrow path: a pre-partitioned parent groups in a single stage —
+	// reading the existing partitionBy shuffle, but adding no new one.
+	p := NewHashPartitioner(2)
+	pre := ctx.Parallelize("d2", recs, 2).PartitionBy(p)
+	pre.MustCount()
+	g2 := pre.GroupByKey(p)
+	_, jm, err := g2.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[int]bool{}
+	for _, tm := range jm.Tasks {
+		stages[tm.StageID] = true
+	}
+	if len(stages) != 1 {
+		t.Fatalf("narrow groupByKey ran %d stages, want 1", len(stages))
+	}
+}
+
+func TestSamplePublic(t *testing.T) {
+	ctx := NewContext()
+	data := ctx.Parallelize("d", makeRecords(2000), 4)
+	half := data.Sample(0.5, 1)
+	n := half.MustCount()
+	if n < 800 || n > 1200 {
+		t.Fatalf("sample(0.5) kept %d of 2000", n)
+	}
+	// Deterministic: same salt, same subset.
+	if again := data.Sample(0.5, 1).MustCount(); again != n {
+		t.Fatalf("resample differs: %d vs %d", again, n)
+	}
+	// Different salt, different subset (with high probability).
+	other := data.Sample(0.5, 2).MustCount()
+	if other == n {
+		t.Log("salted sample matched size; acceptable but unusual")
+	}
+	if data.Sample(0, 1).MustCount() != 0 {
+		t.Fatal("sample(0) kept records")
+	}
+	if data.Sample(1, 1).MustCount() != 2000 {
+		t.Fatal("sample(1) dropped records")
+	}
+}
+
+func TestLineageDOT(t *testing.T) {
+	ctx := NewContext()
+	p := NewHashPartitioner(2)
+	a := ctx.Parallelize("a", makeRecords(10), 1).PartitionBy(p).Cache()
+	a.MustCount()
+	a.Checkpoint()
+	dot := ctx.LineageDOT()
+	for _, want := range []string{"digraph lineage", "shuffle 0", "ckpt", "cached"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	ctx := NewContext(WithExecutors(3), WithSlots(2))
+	var events int
+	ctx.SetTracer(func(TraceEvent) { events++ })
+	r := ctx.Parallelize("d", makeRecords(60), 3).Cache()
+	r.MustCount()
+	if events == 0 {
+		t.Fatal("no trace events")
+	}
+	stats := ctx.ClusterStats()
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	cached := 0
+	for _, s := range stats {
+		if s.Slots != 2 || s.Dead {
+			t.Fatalf("bad stats %+v", s)
+		}
+		cached += s.CacheBlocks
+	}
+	if cached != 3 {
+		t.Fatalf("cached blocks = %d, want 3", cached)
+	}
+	if err := ctx.CheckClusterConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	ctx.KillExecutor(0)
+	if err := ctx.CheckClusterConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverActions(t *testing.T) {
+	ctx := NewContext()
+	recs := []Record{Pair("a", 1), Pair("b", 2), Pair("a", 3), Pair("c", 4)}
+	r := ctx.Parallelize("d", recs, 2)
+	counts, _, err := r.CountByKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 2 || counts["b"] != 1 || counts["c"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	take, _, err := r.Take(2)
+	if err != nil || len(take) != 2 {
+		t.Fatalf("take = %v err = %v", take, err)
+	}
+	if _, _, err := r.Take(-1); err == nil {
+		t.Fatal("negative take accepted")
+	}
+	first, ok, _, err := r.First()
+	if err != nil || !ok || first.Key == "" {
+		t.Fatalf("first = %v ok=%v err=%v", first, ok, err)
+	}
+	keys, _, err := r.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	// First on an empty dataset.
+	empty := ctx.Parallelize("e", nil, 1)
+	_, ok, _, err = empty.First()
+	if err != nil || ok {
+		t.Fatalf("empty first ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStreamStepPartitionerPublic(t *testing.T) {
+	ctx := NewContext(WithExecutors(4))
+	fresh := 0
+	s, err := ctx.NewStream(StreamConfig{
+		Name:        "r",
+		Partitioner: NewHashPartitioner(4), // ignored when StepPartitioner set
+		Window:      2,
+		StepPartitioner: func(step int, recs []Record) Partitioner {
+			fresh++
+			keys := make([]string, 0, len(recs))
+			for _, r := range recs {
+				keys = append(keys, r.Key)
+			}
+			return NewRangePartitioner(keys, 4)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		s.Ingest(step, makeRecords(80))
+		ctx.Drain()
+	}
+	if fresh != 2 {
+		t.Fatalf("StepPartitioner called %d times", fresh)
+	}
+	// Steps are NOT co-partitioned: cogrouping them must shuffle.
+	w := s.Recent(2)
+	cg := ctx.CoGroup(NewHashPartitioner(4), w...)
+	_, jm, err := cg.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shuffled int64
+	for _, tm := range jm.Tasks {
+		shuffled += tm.BytesShuffle
+	}
+	if shuffled == 0 {
+		t.Fatal("Spark-R-style steps cogrouped without shuffle")
+	}
+	// Namespace + StepPartitioner is rejected.
+	if _, err := ctx.NewStream(StreamConfig{
+		Name: "bad", Partitioner: NewHashPartitioner(2), Namespace: "x",
+		StepPartitioner: func(int, []Record) Partitioner { return NewHashPartitioner(2) },
+	}); err == nil {
+		t.Fatal("conflicting stream config accepted")
+	}
+}
+
+func TestPublicStatsAndUnpersist(t *testing.T) {
+	ctx := NewContext(WithExecutors(4))
+	r := ctx.Parallelize("d", makeRecords(100), 4).Cache()
+	r.MustCount()
+	r.Filter(func(Record) bool { return true }).MustCount()
+	st := ctx.Stats()
+	if st.Jobs != 2 || st.CacheHits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r.Unpersist()
+	for _, es := range ctx.ClusterStats() {
+		if es.CacheBlocks != 0 {
+			t.Fatalf("blocks remain after unpersist: %+v", es)
+		}
+	}
+	if got := r.Filter(func(Record) bool { return true }).MustCount(); got != 100 {
+		t.Fatalf("recount = %d", got)
+	}
+}
+
+func TestSortByKeyPublic(t *testing.T) {
+	ctx := NewContext()
+	var recs []Record
+	for i := 999; i >= 0; i-- {
+		recs = append(recs, Pair(fmt.Sprintf("k%03d", i%500), i))
+	}
+	sample := make([]string, 0, 100)
+	for i := 0; i < 500; i += 5 {
+		sample = append(sample, fmt.Sprintf("k%03d", i))
+	}
+	sorted := ctx.Parallelize("d", recs, 4).SortByKey(sample, 4)
+	out, _, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("not sorted at %d: %q < %q", i, out[i].Key, out[i-1].Key)
+		}
+	}
+}

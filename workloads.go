@@ -1,0 +1,41 @@
+package stark
+
+import (
+	"math/rand"
+
+	"stark/internal/workload"
+)
+
+// WikipediaTrace exposes the synthetic Wikipedia request-log generator:
+// hourly datasets with a diurnal volume curve and Zipf-popular URLs.
+type WikipediaTrace = workload.WikipediaConfig
+
+// DefaultWikipediaTrace returns the calibrated generator.
+func DefaultWikipediaTrace() WikipediaTrace { return workload.DefaultWikipedia() }
+
+// TaxiTrace exposes the synthetic NYC-taxi event generator: spatio-temporal
+// events over a unit-square grid with time-of-day hotspot drift, keyed by
+// Z-order cell.
+type TaxiTrace = workload.TaxiConfig
+
+// DefaultTaxiTrace returns the calibrated generator.
+func DefaultTaxiTrace() TaxiTrace { return workload.DefaultTaxi() }
+
+// TwitterTrace exposes the synthetic tweet generator.
+type TwitterTrace = workload.TwitterConfig
+
+// DefaultTwitterTrace returns the calibrated generator.
+func DefaultTwitterTrace() TwitterTrace { return workload.DefaultTwitter() }
+
+// MergedTaxiTweets produces the paper's merged trace for one timestep:
+// every taxi event followed by a co-located tweet.
+func MergedTaxiTweets(taxi TaxiTrace, tw TwitterTrace, step int) []Record {
+	return workload.MergedStep(taxi, tw, step)
+}
+
+// RandomRegion returns an inclusive Z-order key range covering one random
+// axis-aligned quadtree block of the grid at the given depth — contiguous
+// in key space, so a key-range filter selects exactly the region.
+func (z ZGrid) RandomRegion(rng *rand.Rand, depth int) (lo, hi string) {
+	return workload.RandomRegion(rng, z.g, depth)
+}
