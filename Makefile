@@ -18,6 +18,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race ./...
+
+chaos:
+	$(GO) run ./cmd/starkbench -experiment chaos
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 

@@ -150,6 +150,16 @@ func experimentsList() []experiment {
 			r.Print(os.Stdout)
 			return nil
 		}},
+		{"chaos", "randomized fault schedules vs fault-free oracle (recovery contract)", func(quick bool) error {
+			cfg := experiments.DefaultChaos()
+			if quick {
+				cfg.Seeds = 20
+				cfg.Steps = 4
+			}
+			r, err := experiments.RunChaos(cfg)
+			r.Print(os.Stdout)
+			return err
+		}},
 		{"churn", "dynamic load/evict collection under correlated queries (Sec. I scenario)", func(bool) error {
 			r, err := experiments.RunChurn(experiments.DefaultChurn())
 			if err != nil {

@@ -1,0 +1,97 @@
+package stark
+
+import (
+	"time"
+
+	"stark/internal/engine"
+	"stark/internal/fault"
+	"stark/internal/metrics"
+)
+
+// FaultSchedule is a deterministic, seed-driven fault schedule: executor
+// crashes (with optional restart), straggler slowdowns, lost persisted
+// blocks, and a per-operation transient storage error probability. Arm one
+// with WithFaults; equal schedules on equal seeds replay bit-identically.
+type FaultSchedule = fault.Schedule
+
+// ExecutorCrash kills an executor at a virtual time and, when RestartAfter
+// is positive, revives it that much later with a cold cache.
+type ExecutorCrash = fault.Crash
+
+// StragglerFault slows an executor by Factor for a window of virtual time.
+type StragglerFault = fault.Straggler
+
+// BlockLossFault deletes one persisted shuffle or checkpoint block.
+type BlockLossFault = fault.BlockLoss
+
+// FaultStats counts the faults an injector actually delivered.
+type FaultStats = fault.Stats
+
+// RecoveryStats aggregates the engine's fault-handling counters and the
+// measured recovery delays.
+type RecoveryStats = metrics.RecoveryMetrics
+
+// ErrInjected marks errors produced by the fault injector.
+var ErrInjected = fault.ErrInjected
+
+// RandomFaultSchedule derives a randomized but fully deterministic fault
+// schedule from a seed: 1-3 executor crashes (never executor 0, always
+// restarting), up to two straggler windows, up to three block losses, and a
+// small transient storage error probability, all inside the horizon.
+func RandomFaultSchedule(seed int64, horizon time.Duration, executors int) FaultSchedule {
+	return fault.RandomSchedule(seed, horizon, executors)
+}
+
+// WithFaults arms a deterministic fault schedule on the engine's virtual
+// clock.
+func WithFaults(s FaultSchedule) Option {
+	return func(c *engine.Config) { c.Faults = s }
+}
+
+// WithTaskRetries bounds per-task retry: a failed task is re-attempted up
+// to n times with doubling virtual-time backoff starting at backoff.
+// n < 0 disables retry (first failure fails the job).
+func WithTaskRetries(n int, backoff time.Duration) Option {
+	return func(c *engine.Config) {
+		c.Recovery.MaxTaskRetries = n
+		c.Recovery.RetryBackoff = backoff
+	}
+}
+
+// WithBlacklist excludes an executor from scheduling for expiry after
+// threshold task failures; a successful task afterwards clears the entry.
+// threshold < 0 disables blacklisting.
+func WithBlacklist(threshold int, expiry time.Duration) Option {
+	return func(c *engine.Config) {
+		c.Recovery.BlacklistThreshold = threshold
+		c.Recovery.BlacklistExpiry = expiry
+	}
+}
+
+// WithSpeculation enables speculative re-execution of stragglers: once
+// quantile of a stage's tasks finished, running tasks expected to exceed
+// multiplier times the stage median get a second copy on another executor;
+// the first finisher wins.
+func WithSpeculation(multiplier, quantile float64) Option {
+	return func(c *engine.Config) {
+		c.Recovery.Speculation = true
+		c.Recovery.SpeculationMultiplier = multiplier
+		c.Recovery.SpeculationQuantile = quantile
+	}
+}
+
+// RecoveryStats reports the engine's fault-handling counters and measured
+// recovery delays so far.
+func (c *Context) RecoveryStats() RecoveryStats { return c.eng.Recovery() }
+
+// Blacklisted lists the executors currently blacklisted, ascending.
+func (c *Context) Blacklisted() []int { return c.eng.Blacklisted() }
+
+// FaultStats reports the faults delivered so far; zero when no schedule is
+// armed.
+func (c *Context) FaultStats() FaultStats {
+	if in := c.eng.Injector(); in != nil {
+		return in.Stats()
+	}
+	return FaultStats{}
+}

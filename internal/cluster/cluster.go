@@ -15,6 +15,17 @@ type Executor struct {
 
 	busy int
 	dead bool
+	// slow is the straggler multiplier applied to task durations launched
+	// here; values <= 1 mean full speed.
+	slow float64
+}
+
+// Slowdown reports the executor's current straggler multiplier (>= 1).
+func (e *Executor) Slowdown() float64 {
+	if e.slow <= 1 {
+		return 1
+	}
+	return e.slow
 }
 
 // FreeSlots reports currently available slots (0 when dead).
@@ -193,11 +204,19 @@ func (c *Cluster) Kill(exec int) {
 	e.busy = 0
 }
 
-// Restart revives a dead executor with an empty cache.
+// Restart revives a dead executor with an empty cache and full speed.
 func (c *Cluster) Restart(exec int) {
 	e := c.executors[exec]
 	e.dead = false
 	e.busy = 0
+	e.slow = 0
+}
+
+// SetSlowdown sets an executor's straggler multiplier; factor <= 1 restores
+// full speed. New task launches on the executor take factor times their
+// modeled duration.
+func (c *Cluster) SetSlowdown(exec int, factor float64) {
+	c.executors[exec].slow = factor
 }
 
 // CheckConsistency verifies the directory against the executors' stores:

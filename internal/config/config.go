@@ -94,6 +94,51 @@ func Default() Cluster {
 	}
 }
 
+// Recovery configures the engine's failure-handling policy: bounded task
+// retry with virtual-time backoff, executor blacklisting after repeated
+// failures, and speculative re-execution of stragglers.
+type Recovery struct {
+	// MaxTaskRetries bounds re-launches of a failed task beyond its first
+	// attempt; exhausting it fails the job (spark.task.maxFailures - 1).
+	MaxTaskRetries int
+	// RetryBackoff is the virtual-time delay before the first retry; it
+	// doubles per subsequent attempt.
+	RetryBackoff time.Duration
+	// BlacklistThreshold is the number of task failures on one executor
+	// before it is blacklisted. 0 disables blacklisting.
+	BlacklistThreshold int
+	// BlacklistExpiry is how long a blacklisted executor is excluded from
+	// scheduling before it gets probationary offers again; a successful
+	// task then removes it from the blacklist.
+	BlacklistExpiry time.Duration
+	// MaxStageResubmissions bounds how often one shuffle's map stage may be
+	// resubmitted to rebuild lost outputs before the job fails.
+	MaxStageResubmissions int
+	// Speculation enables speculative re-execution of stragglers.
+	Speculation bool
+	// SpeculationMultiplier flags a running task as a straggler when its
+	// expected duration exceeds this multiple of the stage's median
+	// completed-task duration.
+	SpeculationMultiplier float64
+	// SpeculationQuantile is the fraction of a stage's tasks that must have
+	// completed before speculation kicks in.
+	SpeculationQuantile float64
+}
+
+// DefaultRecovery mirrors Spark's defaults: 3 retries, no speculation, and
+// a short blacklist with timed probation.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		MaxTaskRetries:        3,
+		RetryBackoff:          50 * time.Millisecond,
+		BlacklistThreshold:    3,
+		BlacklistExpiry:       30 * time.Second,
+		MaxStageResubmissions: 8,
+		SpeculationMultiplier: 1.5,
+		SpeculationQuantile:   0.75,
+	}
+}
+
 // Scheduler configures task scheduling policy.
 type Scheduler struct {
 	// LocalityWait is the delay-scheduling bound: how long a task set waits

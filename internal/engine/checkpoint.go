@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"stark/internal/checkpoint"
@@ -42,30 +43,71 @@ func (e *Engine) maybeCheckpoint(final *rdd.RDD) {
 // ForceCheckpoint persists every partition of an already-materialized RDD
 // (the paper's RDD.forceCheckpoint API, which lifts Spark's restriction
 // that checkpointing be requested before materialization). RDDs that were
-// never materialized are skipped.
+// never materialized are skipped. With no live executor to produce the
+// data the checkpoint is deferred until one restarts; a storage failure
+// mid-checkpoint abandons the attempt (no partial Checkpointed state — a
+// later trigger retries).
 func (e *Engine) ForceCheckpoint(r *rdd.RDD) {
 	if r.Checkpointed || r.PartBytes == nil {
 		return
 	}
 	ratio := e.cfg.Checkpoint.SerializationRatio
 	for p := 0; p < r.Parts; p++ {
-		exec := e.partitionHome(r, p)
+		exec, ok := e.partitionHome(r, p)
+		if !ok {
+			e.deferCheckpoint(r)
+			return
+		}
 		acc := &costAcc{} // checkpoint IO runs on a background thread
-		data := e.materialize(r, p, exec, acc)
-		cpBytes := int64(float64(r.PartBytes[p]) * ratio)
-		e.store.WriteCheckpoint(r.ID, p, data, cpBytes)
+		data, err := e.materialize(r, p, exec, acc)
+		if err == nil {
+			cpBytes := int64(float64(r.PartBytes[p]) * ratio)
+			err = e.store.WriteCheckpoint(r.ID, p, data, cpBytes)
+		}
+		if err != nil {
+			e.trace("checkpoint-abort", -1, -1, -1, -1,
+				fmt.Sprintf("%s[%d]: %v", r, p, err))
+			return
+		}
 	}
 	r.Checkpointed = true
 	e.trace("checkpoint", -1, -1, -1, -1, r.String())
 }
 
+// deferCheckpoint parks an RDD whose checkpoint found no live executor;
+// RestartExecutor drains the queue.
+func (e *Engine) deferCheckpoint(r *rdd.RDD) {
+	for _, q := range e.pendingCP {
+		if q == r {
+			return
+		}
+	}
+	e.pendingCP = append(e.pendingCP, r)
+	e.rec.CheckpointDeferrals++
+	e.trace("checkpoint-defer", -1, -1, -1, -1, r.String())
+}
+
+// drainDeferredCheckpoints retries checkpoints parked for lack of live
+// executors.
+func (e *Engine) drainDeferredCheckpoints() {
+	if len(e.pendingCP) == 0 || len(e.cl.AliveExecutors()) == 0 {
+		return
+	}
+	pending := e.pendingCP
+	e.pendingCP = nil
+	for _, r := range pending {
+		e.ForceCheckpoint(r)
+	}
+}
+
 // partitionHome picks the executor best placed to produce a partition: a
 // cache holder first, the namespace primary second, any live executor last.
-func (e *Engine) partitionHome(r *rdd.RDD, p int) int {
+// ok is false when the cluster has no live executor at all.
+func (e *Engine) partitionHome(r *rdd.RDD, p int) (int, bool) {
 	for _, chain := range []*rdd.RDD{r} {
 		locs := e.filterAlive(e.cl.Locations(blockID(chain.ID, p)))
 		if len(locs) > 0 {
-			return locs[0]
+			return locs[0], true
 		}
 	}
 	if ns := e.activeNamespace(r); ns != "" {
@@ -76,12 +118,12 @@ func (e *Engine) partitionHome(r *rdd.RDD, p int) int {
 			}
 		}
 		if primary, ok := e.loc.Primary(ns, unit); ok && !e.cl.Executor(primary).Dead() {
-			return primary
+			return primary, true
 		}
 	}
 	alive := e.cl.AliveExecutors()
 	if len(alive) == 0 {
-		panic("engine: no live executors to checkpoint on")
+		return -1, false
 	}
-	return alive[p%len(alive)]
+	return alive[p%len(alive)], true
 }

@@ -16,6 +16,7 @@ import (
 
 	"stark/internal/cluster"
 	"stark/internal/config"
+	"stark/internal/fault"
 	"stark/internal/group"
 	"stark/internal/locality"
 	"stark/internal/metrics"
@@ -70,6 +71,12 @@ type Config struct {
 	Checkpoint CheckpointConfig
 	// Replication bounds contention-aware replication of collection units.
 	Replication replication.Config
+	// Recovery is the failure-handling policy: task retry, executor
+	// blacklisting, stage resubmission bounds, and speculation.
+	Recovery config.Recovery
+	// Faults, when non-empty, arms the deterministic fault injector on the
+	// engine's virtual clock.
+	Faults fault.Schedule
 	// Seed drives the scheduler's randomized remote offers; runs with equal
 	// seeds are bit-identical.
 	Seed int64
@@ -94,6 +101,7 @@ func DefaultConfig() Config {
 			HalfLife:         30 * time.Second,
 			DemandPerReplica: 2,
 		},
+		Recovery: config.DefaultRecovery(),
 	}
 }
 
@@ -106,6 +114,9 @@ type JobResult struct {
 	Partitions [][]record.Record
 	// Metrics is the job's timing record.
 	Metrics metrics.JobMetrics
+	// Err is non-nil when the job failed (task retries or stage
+	// resubmissions exhausted); Count and Partitions are then partial.
+	Err error
 }
 
 // Engine is the driver. Create with New; methods must be called from a
@@ -147,6 +158,21 @@ type Engine struct {
 	shuffleRunning map[int]bool
 	shuffleWaiters map[int][]*stageRun
 
+	// Failure-recovery state: which stage produces each shuffle (for
+	// resubmission after block loss), reduce tasks parked on a rebuilding
+	// shuffle, per-shuffle resubmission counts, per-executor failure counts
+	// and blacklist windows, checkpoints deferred for lack of live
+	// executors, and the injector when faults are armed.
+	shuffleStages  map[int]*sched.Stage
+	fetchWaiters   map[int][]*task
+	resubmits      map[int]int
+	execFailures   map[int]int
+	blacklist      map[int]bool
+	blacklistUntil map[int]time.Duration
+	pendingCP      []*rdd.RDD
+	inj            *fault.Injector
+	rec            metrics.RecoveryMetrics
+
 	completed []metrics.JobMetrics
 	stats     Stats
 	rng       *rand.Rand
@@ -161,11 +187,12 @@ func New(cfg Config) *Engine {
 	if cfg.Checkpoint.SerializationRatio <= 0 {
 		cfg.Checkpoint.SerializationRatio = 0.4
 	}
+	normalizeRecovery(&cfg.Recovery)
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:            cfg,
 		loop:           vtime.NewLoop(),
 		cl:             cluster.New(cfg.Cluster),
@@ -179,10 +206,58 @@ func New(cfg Config) *Engine {
 		running:        make(map[int]*task),
 		shuffleRunning: make(map[int]bool),
 		shuffleWaiters: make(map[int][]*stageRun),
+		shuffleStages:  make(map[int]*sched.Stage),
+		fetchWaiters:   make(map[int][]*task),
+		resubmits:      make(map[int]int),
+		execFailures:   make(map[int]int),
+		blacklist:      make(map[int]bool),
+		blacklistUntil: make(map[int]time.Duration),
 		wakeIndex:      make(map[cluster.BlockID][]*task),
 		rng:            rand.New(rand.NewSource(seed)),
 	}
+	if !cfg.Faults.Empty() {
+		e.inj = fault.New(cfg.Faults)
+		e.store.SetFaultHook(func(op storage.Op) error { return e.inj.StorageOp(string(op)) })
+		e.inj.Arm(e.loop, e)
+	}
+	return e
 }
+
+// normalizeRecovery fills zero-valued policy fields with defaults;
+// negative MaxTaskRetries / BlacklistThreshold explicitly disable retry and
+// blacklisting.
+func normalizeRecovery(rc *config.Recovery) {
+	d := config.DefaultRecovery()
+	if rc.MaxTaskRetries == 0 {
+		rc.MaxTaskRetries = d.MaxTaskRetries
+	} else if rc.MaxTaskRetries < 0 {
+		rc.MaxTaskRetries = 0
+	}
+	if rc.RetryBackoff <= 0 {
+		rc.RetryBackoff = d.RetryBackoff
+	}
+	if rc.BlacklistThreshold == 0 {
+		rc.BlacklistThreshold = d.BlacklistThreshold
+	} else if rc.BlacklistThreshold < 0 {
+		rc.BlacklistThreshold = 0
+	}
+	if rc.BlacklistExpiry <= 0 {
+		rc.BlacklistExpiry = d.BlacklistExpiry
+	}
+	if rc.MaxStageResubmissions <= 0 {
+		rc.MaxStageResubmissions = d.MaxStageResubmissions
+	}
+	if rc.SpeculationMultiplier <= 1 {
+		rc.SpeculationMultiplier = d.SpeculationMultiplier
+	}
+	if rc.SpeculationQuantile <= 0 || rc.SpeculationQuantile > 1 {
+		rc.SpeculationQuantile = d.SpeculationQuantile
+	}
+}
+
+// Injector exposes the armed fault injector, nil when no faults are
+// configured.
+func (e *Engine) Injector() *fault.Injector { return e.inj }
 
 // Loop exposes the virtual clock (for scheduling streaming input).
 func (e *Engine) Loop() *vtime.Loop { return e.loop }
@@ -223,6 +298,7 @@ type job struct {
 	parts     [][]record.Record
 	tasks     []metrics.TaskMetrics
 	done      bool
+	err       error
 	cb        func(JobResult)
 }
 
@@ -231,6 +307,13 @@ type stageRun struct {
 	job       *job
 	remaining int
 	started   bool
+	// runsShuffle marks this run as the owner of its shuffle's execution
+	// (holder of shuffleRunning); released when the job fails mid-stage so
+	// later jobs can rerun the shuffle.
+	runsShuffle bool
+	// durations collects completed-task durations for the speculation
+	// median.
+	durations []time.Duration
 }
 
 type task struct {
@@ -249,6 +332,17 @@ type task struct {
 	aborted   bool
 	exec      int
 	tm        metrics.TaskMetrics
+
+	// Recovery state: attempt number (0 = first launch), the data-plane
+	// error detected at completion time, the expected completion time (for
+	// straggler detection), speculative-copy links, and the failure epoch
+	// this attempt recovers from.
+	attempt     int
+	failErr     error
+	expectedEnd time.Duration
+	spec        *task // speculative copy launched for this task
+	specOf      *task // original this task speculates for
+	epoch       *recoveryEpoch
 
 	// Action results accumulate here during the data plane and are applied
 	// to the job only at completion, so aborted tasks leave no trace.
@@ -304,7 +398,7 @@ func (e *Engine) RunJob(final *rdd.RDD, action Action) (JobResult, error) {
 			return JobResult{}, fmt.Errorf("engine: job on %s cannot complete (no runnable executors?)", final)
 		}
 	}
-	return res, nil
+	return res, res.Err
 }
 
 // Count runs a count action synchronously.
@@ -341,6 +435,7 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 	}
 	for _, p := range sr.st.Parents {
 		if !e.store.ShuffleComplete(p.ShuffleID) {
+			e.ensureParentShuffle(sr, p.ShuffleID)
 			return
 		}
 	}
@@ -348,6 +443,7 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 		if e.store.ShuffleComplete(sr.st.ShuffleID) {
 			// Outputs persist from an earlier job: skip the stage wholesale.
 			sr.started = true
+			sr.runsShuffle = true
 			sr.remaining = 0
 			e.onStageComplete(sr)
 			return
@@ -357,9 +453,11 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 			return
 		}
 		e.shuffleRunning[sr.st.ShuffleID] = true
+		sr.runsShuffle = true
 		if err := e.store.RegisterShuffle(sr.st.ShuffleID, sr.st.Output.Parts, sr.st.Consumer.Parts); err != nil {
 			panic(err) // geometry conflicts are engine bugs
 		}
+		e.registerShuffleStage(sr.st)
 	}
 	sr.started = true
 	e.trace("stage-start", sr.job.id, sr.st.ID, -1, -1, fmt.Sprintf("output=%s shuffleMap=%v", sr.st.Output.Name, sr.st.ShuffleMap))
@@ -377,18 +475,29 @@ func (e *Engine) enqueueTasks(sr *stageRun) {
 		e.onStageComplete(sr)
 		return
 	}
-	// A task without a namespace can only become NODE_LOCAL through cached
-	// blocks of its narrow chain; if nothing in the chain is cacheable it
-	// goes straight to the fast FIFO queue.
-	prefCap := ns != ""
-	if !prefCap {
-		for _, r := range sr.st.NarrowChain() {
-			if r.CacheFlag {
-				prefCap = true
-				break
-			}
+	e.enqueueSpecs(sr, specs, e.stagePrefCap(sr, ns))
+}
+
+// stagePrefCap reports whether the stage's tasks can ever gain a locality
+// preference: a task without a namespace can only become NODE_LOCAL through
+// cached blocks of its narrow chain; if nothing in the chain is cacheable
+// it goes straight to the fast FIFO queue.
+func (e *Engine) stagePrefCap(sr *stageRun, ns string) bool {
+	if ns != "" {
+		return true
+	}
+	for _, r := range sr.st.NarrowChain() {
+		if r.CacheFlag {
+			return true
 		}
 	}
+	return false
+}
+
+// enqueueSpecs instantiates and enqueues one task per spec. Stage
+// resubmission reuses it to re-enqueue only the specs covering lost map
+// outputs.
+func (e *Engine) enqueueSpecs(sr *stageRun, specs []taskSpec, prefCap bool) {
 	for _, sp := range specs {
 		t := &task{
 			id:         e.taskSeq,
@@ -526,6 +635,24 @@ func (e *Engine) taskSpecs(out *rdd.RDD, ns string) []taskSpec {
 // waiters (in this and other jobs); the result stage finishes the job.
 func (e *Engine) onStageComplete(sr *stageRun) {
 	if sr.st.ShuffleMap {
+		if !sr.runsShuffle {
+			// Ownership was released when this run's job failed; whichever
+			// run owns the shuffle now propagates completion.
+			return
+		}
+		// A block-loss fault may have punched holes in the shuffle while the
+		// stage ran; recompute just the missing map outputs before declaring
+		// the shuffle complete.
+		if missing := e.store.MissingMapOutputs(sr.st.ShuffleID); len(missing) > 0 {
+			if !e.bumpResubmit(sr.job, sr.st.ShuffleID) {
+				return
+			}
+			e.trace("stage-resubmit", sr.job.id, sr.st.ID, -1, -1,
+				fmt.Sprintf("shuffle=%d missing=%d", sr.st.ShuffleID, len(missing)))
+			e.enqueueMissing(sr, missing)
+			return
+		}
+		sr.runsShuffle = false
 		delete(e.shuffleRunning, sr.st.ShuffleID)
 		waiters := e.shuffleWaiters[sr.st.ShuffleID]
 		delete(e.shuffleWaiters, sr.st.ShuffleID)
@@ -536,6 +663,7 @@ func (e *Engine) onStageComplete(sr *stageRun) {
 		for _, w := range waiters {
 			e.maybeStartStage(w)
 		}
+		e.releaseFetchWaiters(sr.st.ShuffleID)
 		return
 	}
 	e.finishJob(sr.job)
@@ -554,14 +682,17 @@ func (e *Engine) finishJob(j *job) {
 		Tasks:     j.tasks,
 	}
 	e.completed = append(e.completed, jm)
-	e.trace("job-finish", j.id, -1, -1, -1, fmt.Sprintf("makespan=%v tasks=%d", jm.Makespan(), len(jm.Tasks)))
+	e.trace("job-finish", j.id, -1, -1, -1, fmt.Sprintf("makespan=%v tasks=%d err=%v", jm.Makespan(), len(jm.Tasks), j.err))
 	res := JobResult{
 		JobID:      j.id,
 		Count:      j.count,
 		Partitions: j.parts,
 		Metrics:    jm,
+		Err:        j.err,
 	}
-	e.maybeCheckpoint(j.final)
+	if j.err == nil {
+		e.maybeCheckpoint(j.final)
+	}
 	if j.cb != nil {
 		j.cb(res)
 	}

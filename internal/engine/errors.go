@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors for the data plane. The retry machinery keys on
+// them: ErrStorage marks a (possibly transient) persistent-storage failure
+// that a bounded per-task retry may heal; ErrFetchFailed marks a reduce
+// task that found its parent shuffle incomplete, which triggers stage
+// resubmission (recompute the lost map outputs) instead of a plain retry.
+var (
+	ErrStorage     = errors.New("engine: storage error")
+	ErrFetchFailed = errors.New("engine: shuffle fetch failed")
+)
+
+// fetchError carries the shuffle whose outputs went missing so the recovery
+// path knows which map stage to resubmit.
+type fetchError struct {
+	shuffle int
+	err     error
+}
+
+func (f *fetchError) Error() string {
+	return fmt.Sprintf("%v: shuffle %d: %v", ErrFetchFailed, f.shuffle, f.err)
+}
+
+// Unwrap lets errors.Is(err, ErrFetchFailed) see through the wrapper.
+func (f *fetchError) Unwrap() error { return ErrFetchFailed }

@@ -30,14 +30,25 @@ func (a *costAcc) ioTotal() time.Duration {
 
 // runTask executes the task's data plane on the chosen executor and returns
 // the modeled task duration. Cache mutations (including evictions) apply
-// immediately; the duration covers compute, IO, GC and fixed overhead.
-func (e *Engine) runTask(t *task, exec int) time.Duration {
+// immediately; the duration covers compute, IO, GC and fixed overhead. A
+// non-nil error marks the attempt failed (storage error or fetch failure);
+// the time already accumulated is still charged — a failed attempt is not
+// free.
+func (e *Engine) runTask(t *task, exec int) (time.Duration, error) {
 	acc := &costAcc{}
 	st := t.sr.st
+	var taskErr error
 	for _, p := range t.partitions {
-		data := e.materialize(st.Output, p, exec, acc)
+		data, err := e.materialize(st.Output, p, exec, acc)
+		if err != nil {
+			taskErr = err
+			break
+		}
 		if st.ShuffleMap {
-			e.writeMapOutput(t, p, data, exec, acc)
+			if err := e.writeMapOutput(t, p, data, exec, acc); err != nil {
+				taskErr = err
+				break
+			}
 			continue
 		}
 		switch t.sr.job.action {
@@ -74,12 +85,13 @@ func (e *Engine) runTask(t *task, exec int) time.Duration {
 	if t.group {
 		overhead += time.Duration(len(t.partitions)) * e.cfg.Cluster.GroupPartitionOverhead
 	}
-	return overhead + acc.compute + acc.ioTotal() + gc
+	return overhead + acc.compute + acc.ioTotal() + gc, taskErr
 }
 
 // writeMapOutput buckets one computed map partition by the consumer's
-// partitioner and commits it to persistent storage.
-func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, acc *costAcc) {
+// partitioner and commits it to persistent storage. A write failure
+// (injected or real) surfaces as ErrStorage for the retry path.
+func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, acc *costAcc) error {
 	st := t.sr.st
 	part := st.Consumer.Partitioner
 	buckets := make(map[int][]record.Record)
@@ -95,12 +107,13 @@ func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, 
 		total += bytes
 	}
 	if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
-		panic(fmt.Sprintf("engine: map output write: %v", err))
+		return fmt.Errorf("%w: map output write shuffle %d part %d: %w", ErrStorage, st.ShuffleID, p, err)
 	}
 	// Bucketing is a cheap pass over the data; the write hits disk.
 	acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
 	acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
 	_ = exec
+	return nil
 }
 
 // materialize produces partition p of r on the given executor, honoring the
@@ -108,12 +121,14 @@ func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, 
 // partition cached on a *different* executor is recomputed, never fetched —
 // the amplification co-locality removes), checkpoints and shuffle outputs
 // are read from persistent storage, and everything else recurses through
-// narrow parents.
-func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record.Record {
+// narrow parents. Storage failures surface as ErrStorage; a shuffle read
+// against an incomplete shuffle (lost map outputs) surfaces as a
+// fetchError so the recovery plane resubmits the producing stage.
+func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]record.Record, error) {
 	id := cluster.BlockID{RDD: r.ID, Partition: p}
 	if data, ok := e.cl.CacheGet(exec, id); ok {
 		e.stats.CacheHits++
-		return data
+		return data, nil
 	}
 	if r.CacheFlag {
 		// The block was requested from a cache-enabled RDD and missed: this
@@ -123,18 +138,20 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record
 	if r.Checkpointed && e.store.HasCheckpoint(r.ID, p) {
 		data, bytes, err := e.store.ReadCheckpoint(r.ID, p)
 		if err != nil {
-			panic(fmt.Sprintf("engine: checkpoint read: %v", err))
+			return nil, fmt.Errorf("%w: checkpoint read %s[%d]: %w", ErrStorage, r, p, err)
 		}
 		acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
 		acc.working += bytes
 		e.finishPartition(r, p, exec, data, acc)
-		return data
+		return data, nil
 	}
 
 	var data []record.Record
 	switch r.Kind {
 	case rdd.KindSource:
 		if p < 0 || p >= len(r.Source) {
+			// Out-of-range source partitions are lineage-graph corruption, not
+			// a runtime fault; keep the invariant panic.
 			panic(fmt.Sprintf("engine: source %s has no partition %d", r, p))
 		}
 		data = r.Source[p]
@@ -151,7 +168,10 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record
 			if d.Shuffle {
 				recs, bytes, err := e.store.ReadReduce(d.ShuffleID, p)
 				if err != nil {
-					panic(fmt.Sprintf("engine: shuffle read for %s[%d]: %v", r, p, err))
+					if !e.store.ShuffleComplete(d.ShuffleID) {
+						return nil, &fetchError{shuffle: d.ShuffleID, err: err}
+					}
+					return nil, fmt.Errorf("%w: shuffle read for %s[%d]: %w", ErrStorage, r, p, err)
 				}
 				// Map outputs are spread across the cluster: all bytes come
 				// off disk, and on average (E-1)/E of them cross the network.
@@ -172,7 +192,11 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record
 					}
 					pp = mapped
 				}
-				inputs[i] = e.materialize(d.Parent, pp, exec, acc)
+				in, err := e.materialize(d.Parent, pp, exec, acc)
+				if err != nil {
+					return nil, err
+				}
+				inputs[i] = in
 				inputBytes += e.partBytes(d.Parent, pp)
 			}
 		}
@@ -185,7 +209,7 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) []record
 		}
 	}
 	e.finishPartition(r, p, exec, data, acc)
-	return data
+	return data, nil
 }
 
 // finishPartition records the partition's size and caches it when requested.

@@ -25,10 +25,18 @@ func (e *Engine) schedule() {
 
 		// Pass 1: NODE_LOCAL launches for locality-capable tasks. Stop as
 		// soon as the cluster fills — under overload the pending queue is
-		// huge and scanning it with no slots free is pure waste.
+		// huge and scanning it with no slots free is pure waste. Tasks of
+		// jobs that already failed are discarded lazily here.
 		for _, t := range e.prefPending {
 			if free == 0 {
 				break
+			}
+			if t.aborted || t.launched() {
+				continue
+			}
+			if t.sr.job.done {
+				e.discardPending(t)
+				continue
 			}
 			for _, ex := range e.preferredExecutors(t) {
 				if e.cl.Executor(ex).FreeSlots() > 0 {
@@ -50,6 +58,13 @@ func (e *Engine) schedule() {
 			if free == 0 || len(eligible) >= free {
 				break
 			}
+			if t.aborted || t.launched() {
+				continue
+			}
+			if t.sr.job.done {
+				e.discardPending(t)
+				continue
+			}
 			if now-t.submitted >= e.cfg.Sched.LocalityWait || len(e.preferredExecutors(t)) == 0 {
 				eligible = append(eligible, t)
 			}
@@ -67,9 +82,14 @@ func (e *Engine) schedule() {
 					t := e.plainPending[e.plainHead]
 					e.plainPending[e.plainHead] = nil
 					e.plainHead++
-					if t != nil && !t.launched() && !t.promoted {
-						return t
+					if t == nil || t.launched() || t.promoted || t.aborted {
+						continue
 					}
+					if t.sr.job.done {
+						t.aborted = true
+						continue
+					}
+					return t
 				}
 				return nil
 			}
@@ -107,7 +127,7 @@ func (e *Engine) schedule() {
 		return
 	}
 	for _, t := range e.prefPending {
-		if t.waitArmed || t.launched() {
+		if t.waitArmed || t.launched() || t.aborted {
 			continue
 		}
 		t.waitArmed = true
@@ -129,11 +149,12 @@ func (e *Engine) freeSlots() int {
 	return n
 }
 
-// compactPrefPending removes launched tasks, preserving submission order.
+// compactPrefPending removes launched and aborted tasks, preserving
+// submission order.
 func (e *Engine) compactPrefPending() {
 	kept := e.prefPending[:0]
 	for _, t := range e.prefPending {
-		if !t.launched() {
+		if !t.launched() && !t.aborted {
 			kept = append(kept, t)
 		}
 	}
@@ -141,6 +162,15 @@ func (e *Engine) compactPrefPending() {
 		e.prefPending[i] = nil
 	}
 	e.prefPending = kept
+}
+
+// discardPending drops a queued preference-queue task whose job already
+// finished, keeping the unarmed-timer counter consistent.
+func (e *Engine) discardPending(t *task) {
+	t.aborted = true
+	if t.counted && !t.waitArmed {
+		e.unarmed--
+	}
 }
 
 // compactPlainPending releases consumed queue prefix memory, amortized.
@@ -162,14 +192,14 @@ func (t *task) launched() bool { return t.tm.Locality != 0 }
 // rest, the co-locality gap the paper measures (Sec. II-B).
 func (e *Engine) preferredExecutors(t *task) []int {
 	if t.ns != "" {
-		return e.filterAlive(e.loc.Preferred(t.ns, t.unit))
+		return e.filterSchedulable(e.loc.Preferred(t.ns, t.unit))
 	}
 	if len(t.partitions) != 1 {
 		return nil
 	}
 	p := t.partitions[0]
 	for _, r := range t.sr.st.NarrowChain() {
-		locs := e.filterAlive(e.cl.Locations(cluster.BlockID{RDD: r.ID, Partition: p}))
+		locs := e.filterSchedulable(e.cl.Locations(cluster.BlockID{RDD: r.ID, Partition: p}))
 		if len(locs) > 0 {
 			return locs
 		}
@@ -187,6 +217,18 @@ func (e *Engine) filterAlive(execs []int) []int {
 	return out
 }
 
+// filterSchedulable keeps executors the scheduler may offer slots on: alive
+// and outside any blacklist exclusion window.
+func (e *Engine) filterSchedulable(execs []int) []int {
+	out := execs[:0:0]
+	for _, id := range execs {
+		if e.schedulable(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // remoteOffers lists live executors with free slots, ordered for remote
 // assignment. MCF sorts ascending by unique collection partitions cached
 // (Algorithm 1 line 5). Otherwise offers are randomly permuted, matching
@@ -196,7 +238,7 @@ func (e *Engine) filterAlive(execs []int) []int {
 func (e *Engine) remoteOffers() []int {
 	var offers []int
 	for _, id := range e.cl.AliveExecutors() {
-		if e.cl.Executor(id).FreeSlots() > 0 {
+		if e.schedulable(id) && e.cl.Executor(id).FreeSlots() > 0 {
 			offers = append(offers, id)
 		}
 	}
@@ -270,24 +312,40 @@ func (e *Engine) launch(t *task, exec int, loc metrics.Locality) {
 	e.running[t.id] = t
 	e.traceTaskLaunch(t, exec, loc)
 
-	dur := e.runTask(t, exec)
+	dur, err := e.runTask(t, exec)
+	if err != nil {
+		t.failErr = err
+	}
+	// A straggling executor stretches the modeled duration; speculation keys
+	// off the resulting expectedEnd.
+	if f := ex.Slowdown(); f > 1 {
+		dur = time.Duration(float64(dur) * f)
+	}
+	t.expectedEnd = e.loop.Now() + dur
 	e.loop.After(dur, func() { e.complete(t) })
 }
 
 // complete finalizes a task: slot release, metrics, replica bookkeeping,
-// stage countdown.
+// stage countdown. Failed attempts divert to the recovery plane.
 func (e *Engine) complete(t *task) {
-	delete(e.running, t.id)
 	if t.aborted {
-		// The executor died mid-flight; a clone was already resubmitted at
-		// kill time and the slot accounting was reset by Kill.
+		// The executor died mid-flight (slot accounting was reset by Kill) or
+		// the task lost a speculation race (cancelTask released the slot).
+		delete(e.running, t.id)
 		return
 	}
+	delete(e.running, t.id)
 	e.cl.Executor(t.exec).Release()
 	t.tm.Finished = e.loop.Now()
+	if t.failErr != nil {
+		e.onTaskFailure(t)
+		e.schedule()
+		return
+	}
 	t.sr.job.tasks = append(t.sr.job.tasks, t.tm)
 	e.recordTaskStats(t.tm)
 	e.trace("task-finish", t.sr.job.id, t.sr.st.ID, t.id, t.exec, "dur="+t.tm.Duration().String())
+	e.noteTaskSuccess(t)
 
 	// Apply action results now that the task is known to have survived.
 	t.sr.job.count += t.count
@@ -319,6 +377,8 @@ func (e *Engine) complete(t *task) {
 	t.sr.remaining--
 	if t.sr.remaining == 0 {
 		e.onStageComplete(t.sr)
+	} else {
+		e.maybeSpeculate(t.sr)
 	}
 	e.schedule()
 }
@@ -344,42 +404,58 @@ func (e *Engine) deReplicate(ns string, unit int) {
 // KillExecutor fails an executor at the current virtual time: cached blocks
 // vanish, running tasks abort and are resubmitted, and locality assignments
 // fail over (lineage recomputation happens naturally when the resubmitted
-// tasks cannot find cached parents).
+// tasks cannot find cached parents). The kill opens a recovery epoch: the
+// virtual time until every aborted task's replacement succeeds is recorded
+// as this failure's recovery delay. Task ids are walked in sorted order so
+// clone ids stay deterministic.
 func (e *Engine) KillExecutor(id int) {
 	e.trace("executor-kill", -1, -1, -1, id, "")
 	e.cl.Kill(id)
 	e.loc.DropExecutor(id, e.cl.AliveExecutors())
-	for _, t := range e.running {
+	ids := make([]int, 0, len(e.running))
+	for tid := range e.running {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	var ep *recoveryEpoch
+	for _, tid := range ids {
+		t := e.running[tid]
 		if t.exec != id || t.aborted {
 			continue
 		}
 		t.aborted = true
-		clone := &task{
-			id:         e.taskSeq,
-			sr:         t.sr,
-			partitions: t.partitions,
-			ns:         t.ns,
-			unit:       t.unit,
-			group:      t.group,
-			prefCap:    t.prefCap,
-			submitted:  e.loop.Now(),
+		delete(e.running, tid)
+		if t.detachPartner() {
+			continue // the live speculative partner is now the sole attempt
 		}
-		e.taskSeq++
-		clone.tm = metrics.TaskMetrics{
-			JobID:     t.sr.job.id,
-			StageID:   t.sr.st.ID,
-			TaskID:    clone.id,
-			Submitted: clone.submitted,
+		if t.sr.job.done {
+			continue
 		}
+		if t.epoch == nil {
+			if ep == nil {
+				ep = &recoveryEpoch{start: e.loop.Now()}
+			}
+			t.epoch = ep
+			ep.pending++
+		}
+		clone := e.cloneTask(t, t.attempt)
+		e.trace("task-resubmit", t.sr.job.id, t.sr.st.ID, clone.id, -1,
+			fmt.Sprintf("of=%d killed exec=%d", t.id, id))
 		e.enqueue(clone)
 	}
 	e.schedule()
 }
 
-// RestartExecutor revives a failed executor with a cold cache.
+// RestartExecutor revives a failed executor with a cold cache. A restart
+// also closes any blacklist exclusion window (the fresh process gets
+// probationary offers; only a successful task clears the blacklist entry
+// itself) and retries checkpoints deferred while the cluster had no live
+// executor.
 func (e *Engine) RestartExecutor(id int) {
 	e.trace("executor-restart", -1, -1, -1, id, "")
 	e.cl.Restart(id)
+	delete(e.blacklistUntil, id)
+	e.drainDeferredCheckpoints()
 	e.schedule()
 }
 

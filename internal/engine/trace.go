@@ -12,6 +12,14 @@ import (
 //
 //	job-submit, stage-start, task-launch, task-finish, job-finish,
 //	executor-kill, executor-restart, checkpoint, replica-add, replica-drop
+//
+// Recovery-plane kinds:
+//
+//	task-fail, task-retry, task-resubmit, task-speculate,
+//	task-speculate-win, task-speculate-lose, stage-resubmit,
+//	executor-blacklist, executor-unblacklist, executor-straggle,
+//	fault-block-loss, recovery-complete, job-fail, checkpoint-defer,
+//	checkpoint-abort
 type TraceEvent struct {
 	At   time.Duration
 	Kind string

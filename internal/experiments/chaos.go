@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"stark"
+)
+
+// ChaosConfig parameterizes the chaos harness: a deterministic multi-stage
+// workload is run once fault-free (the oracle), then once per seed under a
+// randomized-but-deterministic fault schedule (executor crashes and
+// restarts, stragglers, transient storage errors, lost shuffle/checkpoint
+// blocks). Every faulted run must produce results bit-identical to the
+// oracle, finish without a panic reaching the driver, and keep every
+// measured recovery delay within Bound.
+type ChaosConfig struct {
+	Seeds     int // fault schedules to run
+	Executors int
+	Slots     int
+	Parts     int // partitions per RDD
+	Records   int
+	Steps     int           // query jobs after the build job
+	Bound     time.Duration // recovery delay bound r (also the checkpoint bound)
+}
+
+// DefaultChaos mirrors the scale of the paper's cluster runs while staying
+// fast enough for CI.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{
+		Seeds:     30,
+		Executors: 6,
+		Slots:     2,
+		Parts:     12,
+		Records:   4000,
+		Steps:     6,
+		Bound:     5 * time.Second,
+	}
+}
+
+// ChaosResult reports the harness outcome.
+type ChaosResult struct {
+	Cfg    ChaosConfig
+	Oracle string // fault-free result fingerprint
+
+	// Violations lists seeds that diverged from the oracle, errored, or
+	// exceeded the recovery bound, with a reason each.
+	Violations []string
+
+	// Aggregates across all seeded runs.
+	Crashes       int
+	Restarts      int
+	Stragglers    int
+	BlocksDropped int
+	StorageErrors int
+
+	TaskFailures  int
+	TaskRetries   int
+	FetchFailures int
+	Resubmits     int
+	SpecLaunches  int
+	SpecWins      int
+	Blacklists    int
+
+	MaxDelay time.Duration // largest recovery delay seen over all seeds
+	Horizon  time.Duration // fault window (the oracle's virtual makespan)
+}
+
+type chaosRun struct {
+	fingerprint string
+	end         time.Duration
+	err         error
+	rec         stark.RecoveryStats
+	faults      stark.FaultStats
+}
+
+// chaosWorkload runs the harness workload on a fresh context: build a
+// cached base dataset, shuffle it into per-key sums, then issue Steps query
+// jobs (filter + aggregate + join) and a final collect. The returned
+// fingerprint hashes every job's result, so any lost update, duplicate, or
+// reordering shows up.
+func chaosWorkload(cfg ChaosConfig, opts ...stark.Option) (run chaosRun) {
+	defer func() {
+		if p := recover(); p != nil {
+			run.err = fmt.Errorf("panic reached driver: %v", p)
+		}
+	}()
+	base := []stark.Option{
+		stark.WithExecutors(cfg.Executors),
+		stark.WithSlots(cfg.Slots),
+		stark.WithSeed(7),
+		stark.WithCheckpointing(cfg.Bound, 1),
+		stark.WithSpeculation(1.5, 0.75),
+	}
+	ctx := stark.NewContext(append(base, opts...)...)
+	defer func() {
+		run.rec = ctx.RecoveryStats()
+		run.faults = ctx.FaultStats()
+		run.end = ctx.Now()
+	}()
+
+	recs := make([]stark.Record, cfg.Records)
+	for i := range recs {
+		recs[i] = stark.Pair(fmt.Sprintf("k%04d", i%211), i)
+	}
+	src := ctx.TextFile("events", recs, cfg.Parts)
+	scaled := src.Map(func(r stark.Record) stark.Record {
+		return stark.Pair(r.Key, r.Value.(int)*3+1)
+	}).Cache()
+	p := stark.NewHashPartitioner(cfg.Parts)
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	sums := scaled.ReduceByKey(p, sum).Cache()
+
+	h := fnv.New64a()
+	total, _, err := sums.Count()
+	if err != nil {
+		run.err = fmt.Errorf("build job: %w", err)
+		return run
+	}
+	fmt.Fprintf(h, "total=%d;", total)
+
+	for s := 0; s < cfg.Steps; s++ {
+		step := s
+		slice := scaled.Filter(func(r stark.Record) bool {
+			return r.Value.(int)%cfg.Steps == step
+		}).ReduceByKey(p, sum)
+		joined := slice.Join(p, sums)
+		n, _, err := joined.Count()
+		if err != nil {
+			run.err = fmt.Errorf("step %d: %w", step, err)
+			return run
+		}
+		fmt.Fprintf(h, "s%d=%d;", step, n)
+	}
+
+	out, _, err := sums.Collect()
+	if err != nil {
+		run.err = fmt.Errorf("final collect: %w", err)
+		return run
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	for _, r := range out {
+		fmt.Fprintf(h, "%s=%d;", r.Key, r.Value.(int))
+	}
+	run.fingerprint = fmt.Sprintf("%016x", h.Sum64())
+	return run
+}
+
+// RunChaos executes the chaos harness: the fault-free oracle first (which
+// also fixes the fault window to the oracle's virtual makespan), then one
+// run per seed. It returns an error when any seed violates the contract, so
+// callers exit nonzero.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	res := ChaosResult{Cfg: cfg}
+	oracle := chaosWorkload(cfg)
+	if oracle.err != nil {
+		return res, fmt.Errorf("chaos oracle run failed: %w", oracle.err)
+	}
+	res.Oracle = oracle.fingerprint
+	res.Horizon = oracle.end
+
+	for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
+		sched := stark.RandomFaultSchedule(seed, res.Horizon, cfg.Executors)
+		run := chaosWorkload(cfg, stark.WithFaults(sched))
+		switch {
+		case run.err != nil:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d: %v", seed, run.err))
+		case run.fingerprint != res.Oracle:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d: fingerprint %s != oracle %s", seed, run.fingerprint, res.Oracle))
+		case run.rec.MaxRecoveryDelay() > cfg.Bound:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d: recovery delay %v exceeds bound %v",
+					seed, run.rec.MaxRecoveryDelay(), cfg.Bound))
+		}
+		res.Crashes += run.faults.Crashes
+		res.Restarts += run.faults.Restarts
+		res.Stragglers += run.faults.Stragglers
+		res.BlocksDropped += run.faults.BlocksDropped
+		res.StorageErrors += run.faults.StorageErrors
+		res.TaskFailures += run.rec.TaskFailures
+		res.TaskRetries += run.rec.TaskRetries
+		res.FetchFailures += run.rec.FetchFailures
+		res.Resubmits += run.rec.StageResubmissions
+		res.SpecLaunches += run.rec.SpeculativeLaunches
+		res.SpecWins += run.rec.SpeculativeWins
+		res.Blacklists += run.rec.ExecutorBlacklists
+		if d := run.rec.MaxRecoveryDelay(); d > res.MaxDelay {
+			res.MaxDelay = d
+		}
+	}
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("chaos: %d of %d seeds violated the recovery contract",
+			len(res.Violations), cfg.Seeds)
+	}
+	return res, nil
+}
+
+// Print emits the chaos summary.
+func (r ChaosResult) Print(w io.Writer) {
+	fprintf(w, "Chaos: %d randomized fault schedules vs fault-free oracle (bound r=%v)\n",
+		r.Cfg.Seeds, r.Cfg.Bound)
+	fprintf(w, "  oracle fingerprint %s, fault window %v (virtual)\n", r.Oracle, r.Horizon)
+	fprintf(w, "  faults injected: crashes=%d restarts=%d stragglers=%d blockLoss=%d storageErr=%d\n",
+		r.Crashes, r.Restarts, r.Stragglers, r.BlocksDropped, r.StorageErrors)
+	fprintf(w, "  recovery work:   taskFail=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d\n",
+		r.TaskFailures, r.TaskRetries, r.FetchFailures, r.Resubmits,
+		r.SpecWins, r.SpecLaunches, r.Blacklists)
+	fprintf(w, "  max recovery delay %v <= bound %v\n", r.MaxDelay, r.Cfg.Bound)
+	if len(r.Violations) == 0 {
+		fprintf(w, "  all %d seeds produced oracle-identical results within the bound\n", r.Cfg.Seeds)
+		return
+	}
+	for _, v := range r.Violations {
+		fprintf(w, "  VIOLATION %s\n", v)
+	}
+}

@@ -1,0 +1,256 @@
+// Package fault is the deterministic, seed-driven fault-injection subsystem
+// (Sec. III-D's operating regime made first-class). A Schedule describes
+// executor crashes with optional restart, straggler slowdowns, lost
+// checkpoint/shuffle blocks, and a transient storage-error probability; an
+// Injector arms the schedule on the virtual clock and drives the engine
+// through a narrow System interface. Because every decision is a function of
+// the schedule seed and the deterministic event order of the single-threaded
+// simulation, two runs with equal seeds inject byte-identical fault
+// sequences — the property the chaos harness and the determinism tests
+// build on.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stark/internal/vtime"
+)
+
+// ErrInjected marks a transient storage failure produced by the injector.
+// The engine's retry path treats it like any other storage error; tests and
+// the chaos harness unwrap it to distinguish injected faults from bugs.
+var ErrInjected = errors.New("fault: injected storage error")
+
+// Crash fails one executor at a virtual time, optionally restarting it
+// after a delay (0 means the executor stays dead).
+type Crash struct {
+	At           time.Duration
+	Executor     int
+	RestartAfter time.Duration
+}
+
+// Straggler slows one executor by Factor for a window of virtual time; new
+// task launches there take Factor times their modeled duration.
+type Straggler struct {
+	At       time.Duration
+	For      time.Duration
+	Executor int
+	Factor   float64
+}
+
+// BlockLoss deletes one persisted block at a virtual time. Pick is reduced
+// modulo the number of committed blocks of the chosen kind at injection
+// time, so schedules stay valid without knowing store contents in advance.
+type BlockLoss struct {
+	At         time.Duration
+	Checkpoint bool // true: checkpoint block; false: shuffle map output
+	Pick       int
+}
+
+// Schedule is a complete fault plan. The zero value injects nothing.
+type Schedule struct {
+	// Seed drives the transient storage-error rolls; runs with equal seeds
+	// and equal event orders fail the exact same operations.
+	Seed int64
+	// StorageErrorProb is the per-operation probability that a persistent
+	// storage read or write transiently fails.
+	StorageErrorProb float64
+	Crashes          []Crash
+	Stragglers       []Straggler
+	BlockLoss        []BlockLoss
+}
+
+// Empty reports whether the schedule injects no faults at all.
+func (s Schedule) Empty() bool {
+	return s.StorageErrorProb == 0 && len(s.Crashes) == 0 &&
+		len(s.Stragglers) == 0 && len(s.BlockLoss) == 0
+}
+
+// Events reports the number of scheduled (non-probabilistic) fault events.
+func (s Schedule) Events() int {
+	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss)
+}
+
+// System is the surface the injector drives; the engine implements it.
+type System interface {
+	KillExecutor(id int)
+	RestartExecutor(id int)
+	SetStraggler(id int, factor float64)
+	// DropShuffleBlock / DropCheckpointBlock delete the pick-th committed
+	// block (modulo the current count), reporting whether anything existed
+	// to drop.
+	DropShuffleBlock(pick int) bool
+	DropCheckpointBlock(pick int) bool
+}
+
+// Stats counts the faults an injector actually delivered.
+type Stats struct {
+	Crashes        int
+	Restarts       int
+	Stragglers     int
+	BlocksDropped  int
+	StorageErrors  int
+	StorageRolls   int // operations that consulted the error probability
+	MissedDrops    int // block-loss events that found nothing to drop
+}
+
+// Total reports the number of faults delivered (restarts are repairs, not
+// faults, and are excluded).
+func (s Stats) Total() int {
+	return s.Crashes + s.Stragglers + s.BlocksDropped + s.StorageErrors
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d blocksDropped=%d storageErrors=%d/%d",
+		s.Crashes, s.Restarts, s.Stragglers, s.BlocksDropped, s.StorageErrors, s.StorageRolls)
+}
+
+// Injector delivers one Schedule. Create with New, wire storage errors via
+// StorageOp, and call Arm once to place the scheduled events on the clock.
+type Injector struct {
+	sched Schedule
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds an injector for the schedule.
+func New(s Schedule) *Injector {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{sched: s, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Schedule returns the armed schedule.
+func (in *Injector) Schedule() Schedule { return in.sched }
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Arm places every scheduled fault event on the loop. Call once, before
+// running the loop.
+func (in *Injector) Arm(loop *vtime.Loop, sys System) {
+	for _, c := range in.sched.Crashes {
+		c := c
+		loop.At(c.At, func() {
+			in.stats.Crashes++
+			sys.KillExecutor(c.Executor)
+		})
+		if c.RestartAfter > 0 {
+			loop.At(c.At+c.RestartAfter, func() {
+				in.stats.Restarts++
+				sys.RestartExecutor(c.Executor)
+			})
+		}
+	}
+	for _, st := range in.sched.Stragglers {
+		st := st
+		loop.At(st.At, func() {
+			in.stats.Stragglers++
+			sys.SetStraggler(st.Executor, st.Factor)
+		})
+		loop.At(st.At+st.For, func() { sys.SetStraggler(st.Executor, 1) })
+	}
+	for _, bl := range in.sched.BlockLoss {
+		bl := bl
+		loop.At(bl.At, func() {
+			var dropped bool
+			if bl.Checkpoint {
+				dropped = sys.DropCheckpointBlock(bl.Pick)
+			} else {
+				dropped = sys.DropShuffleBlock(bl.Pick)
+			}
+			if dropped {
+				in.stats.BlocksDropped++
+			} else {
+				in.stats.MissedDrops++
+			}
+		})
+	}
+}
+
+// StorageOp rolls the transient-error probability for one persistent
+// storage operation, returning ErrInjected (wrapped with the operation
+// name) on a hit. The engine installs it as the store's fault hook.
+func (in *Injector) StorageOp(op string) error {
+	if in.sched.StorageErrorProb <= 0 {
+		return nil
+	}
+	in.stats.StorageRolls++
+	if in.rng.Float64() < in.sched.StorageErrorProb {
+		in.stats.StorageErrors++
+		return fmt.Errorf("%w: %s", ErrInjected, op)
+	}
+	return nil
+}
+
+// RandomSchedule derives a randomized but fully deterministic fault plan
+// from a seed: one to three executor crashes (each followed by a restart,
+// and never targeting executor 0, so the cluster cannot die out entirely),
+// up to two straggler windows, up to three lost persisted blocks, and a
+// small transient storage-error probability. Events land within the given
+// virtual-time horizon on a cluster of the given size.
+func RandomSchedule(seed int64, horizon time.Duration, executors int) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed)))
+	s := Schedule{Seed: mix(seed ^ 0x5eed)}
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	at := func(loFrac, hiFrac float64) time.Duration {
+		f := loFrac + rng.Float64()*(hiFrac-loFrac)
+		return time.Duration(f * float64(horizon))
+	}
+	if executors < 2 {
+		// A single-executor cluster can only absorb transient faults.
+		s.StorageErrorProb = 0.05
+		return s
+	}
+	crashes := 1 + rng.Intn(3)
+	perm := rng.Perm(executors - 1) // victims drawn from 1..executors-1
+	if crashes > len(perm) {
+		crashes = len(perm)
+	}
+	for i := 0; i < crashes; i++ {
+		s.Crashes = append(s.Crashes, Crash{
+			At:           at(0.05, 0.85),
+			Executor:     1 + perm[i],
+			RestartAfter: time.Duration(float64(horizon) * (0.05 + 0.15*rng.Float64())),
+		})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Stragglers = append(s.Stragglers, Straggler{
+			At:       at(0, 0.7),
+			For:      time.Duration(float64(horizon) * (0.1 + 0.2*rng.Float64())),
+			Executor: rng.Intn(executors),
+			Factor:   2 + 4*rng.Float64(),
+		})
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		s.BlockLoss = append(s.BlockLoss, BlockLoss{
+			At:         at(0.1, 0.9),
+			Checkpoint: rng.Intn(2) == 0,
+			Pick:       rng.Intn(1 << 16),
+		})
+	}
+	probs := []float64{0, 0.01, 0.02, 0.04}
+	s.StorageErrorProb = probs[rng.Intn(len(probs))]
+	return s
+}
+
+// mix scrambles a seed so adjacent chaos seeds produce unrelated schedules
+// (splitmix64 finalizer).
+func mix(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return int64(z & 0x7fffffffffffffff)
+}

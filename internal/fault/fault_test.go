@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"stark/internal/vtime"
+)
+
+// recorder implements System and logs delivered faults in order.
+type recorder struct {
+	log []string
+}
+
+func (r *recorder) KillExecutor(id int)    { r.log = append(r.log, "kill") }
+func (r *recorder) RestartExecutor(id int) { r.log = append(r.log, "restart") }
+func (r *recorder) SetStraggler(id int, factor float64) {
+	if factor > 1 {
+		r.log = append(r.log, "slow")
+	} else {
+		r.log = append(r.log, "restore")
+	}
+}
+func (r *recorder) DropShuffleBlock(pick int) bool {
+	r.log = append(r.log, "drop-shuffle")
+	return true
+}
+func (r *recorder) DropCheckpointBlock(pick int) bool {
+	r.log = append(r.log, "drop-checkpoint")
+	return false
+}
+
+func TestArmDeliversScheduleInOrder(t *testing.T) {
+	s := Schedule{
+		Crashes:    []Crash{{At: 10 * time.Millisecond, Executor: 1, RestartAfter: 20 * time.Millisecond}},
+		Stragglers: []Straggler{{At: 5 * time.Millisecond, For: 40 * time.Millisecond, Executor: 2, Factor: 3}},
+		BlockLoss: []BlockLoss{
+			{At: 15 * time.Millisecond, Checkpoint: false, Pick: 7},
+			{At: 25 * time.Millisecond, Checkpoint: true, Pick: 1},
+		},
+	}
+	loop := vtime.NewLoop()
+	rec := &recorder{}
+	in := New(s)
+	in.Arm(loop, rec)
+	loop.Run()
+	want := []string{"slow", "kill", "drop-shuffle", "drop-checkpoint", "restart", "restore"}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("delivery order = %v, want %v", rec.log, want)
+	}
+	st := in.Stats()
+	if st.Crashes != 1 || st.Restarts != 1 || st.Stragglers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BlocksDropped != 1 || st.MissedDrops != 1 {
+		t.Fatalf("block stats = %+v", st)
+	}
+}
+
+func TestStorageOpDeterministicPerSeed(t *testing.T) {
+	roll := func(seed int64) []bool {
+		in := New(Schedule{Seed: seed, StorageErrorProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			err := in.StorageOp("shuffle-read")
+			out[i] = err != nil
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("error %v does not wrap ErrInjected", err)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(roll(42), roll(42)) {
+		t.Fatal("same seed produced different error sequences")
+	}
+	if reflect.DeepEqual(roll(42), roll(43)) {
+		t.Fatal("different seeds produced identical 200-roll sequences")
+	}
+}
+
+func TestStorageOpZeroProbNeverFails(t *testing.T) {
+	in := New(Schedule{Seed: 9})
+	for i := 0; i < 100; i++ {
+		if err := in.StorageOp("x"); err != nil {
+			t.Fatalf("injected error with zero probability: %v", err)
+		}
+	}
+	if in.Stats().StorageRolls != 0 {
+		t.Fatal("zero-probability ops should not consume rng rolls")
+	}
+}
+
+func TestRandomScheduleDeterministicAndSafe(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := RandomSchedule(seed, 2*time.Second, 8)
+		b := RandomSchedule(seed, 2*time.Second, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ", seed)
+		}
+		for _, c := range a.Crashes {
+			if c.Executor == 0 {
+				t.Fatalf("seed %d: crash targets executor 0", seed)
+			}
+			if c.RestartAfter <= 0 {
+				t.Fatalf("seed %d: crash without restart", seed)
+			}
+			if c.At < 0 || c.At > 2*time.Second {
+				t.Fatalf("seed %d: crash outside horizon at %v", seed, c.At)
+			}
+		}
+		if a.Empty() {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+	if reflect.DeepEqual(RandomSchedule(1, time.Second, 8), RandomSchedule(2, time.Second, 8)) {
+		t.Fatal("adjacent seeds produced identical schedules")
+	}
+}
+
+func TestRandomScheduleSingleExecutor(t *testing.T) {
+	s := RandomSchedule(3, time.Second, 1)
+	if len(s.Crashes) != 0 {
+		t.Fatal("single-executor schedule must not crash the only executor")
+	}
+	if s.StorageErrorProb <= 0 {
+		t.Fatal("single-executor schedule should still inject transient errors")
+	}
+}

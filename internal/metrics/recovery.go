@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecoveryMetrics aggregates the engine's fault-handling counters and the
+// measured post-failure recovery delays — the observable side of Sec.
+// III-D's bounded-recovery claim. A recovery delay is the virtual time from
+// an executor failure until every task it aborted has been successfully
+// re-executed.
+type RecoveryMetrics struct {
+	TaskFailures       int `json:"task_failures"`
+	TaskRetries        int `json:"task_retries"`
+	FetchFailures      int `json:"fetch_failures"`
+	StageResubmissions int `json:"stage_resubmissions"`
+
+	SpeculativeLaunches int `json:"speculative_launches"`
+	SpeculativeWins     int `json:"speculative_wins"`
+
+	ExecutorBlacklists   int `json:"executor_blacklists"`
+	ExecutorUnblacklists int `json:"executor_unblacklists"`
+
+	CheckpointDeferrals int `json:"checkpoint_deferrals"`
+
+	RecoveryDelays []time.Duration `json:"recovery_delays_ns"`
+}
+
+// MaxRecoveryDelay reports the largest measured recovery delay; 0 when no
+// failure disrupted running tasks.
+func (r RecoveryMetrics) MaxRecoveryDelay() time.Duration {
+	return Max(r.RecoveryDelays)
+}
+
+// String renders a one-line summary.
+func (r RecoveryMetrics) String() string {
+	return fmt.Sprintf("failures=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d maxRecovery=%v",
+		r.TaskFailures, r.TaskRetries, r.FetchFailures, r.StageResubmissions,
+		r.SpeculativeWins, r.SpeculativeLaunches, r.ExecutorBlacklists,
+		r.MaxRecoveryDelay().Round(time.Millisecond))
+}

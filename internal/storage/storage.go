@@ -56,6 +56,17 @@ type checkpointKey struct {
 	part int
 }
 
+// Op names a persistent-storage operation for fault-hook dispatch.
+type Op string
+
+// Storage operations a fault hook may intercept.
+const (
+	OpShuffleRead     Op = "shuffle-read"
+	OpCheckpointRead  Op = "checkpoint-read"
+	OpMapOutputWrite  Op = "map-output-write"
+	OpCheckpointWrite Op = "checkpoint-write"
+)
+
 // Store is the persistent store. It is not safe for concurrent use; the
 // discrete-event engine is single-threaded by construction.
 type Store struct {
@@ -64,6 +75,9 @@ type Store struct {
 	// cpBytes accumulates total checkpointed bytes ever written, the
 	// quantity Fig. 18 plots.
 	cpBytes int64
+	// faultHook, when set, may veto an operation with a transient error
+	// before it touches state (fault injection).
+	faultHook func(Op) error
 }
 
 // NewStore returns an empty persistent store.
@@ -72,6 +86,18 @@ func NewStore() *Store {
 		shuffles:    make(map[int]*shuffleState),
 		checkpoints: make(map[checkpointKey]Bucket),
 	}
+}
+
+// SetFaultHook installs (or, with nil, removes) a hook consulted before
+// every read and write; a non-nil return fails the operation transiently
+// without touching state.
+func (s *Store) SetFaultHook(h func(Op) error) { s.faultHook = h }
+
+func (s *Store) injected(op Op) error {
+	if s.faultHook == nil {
+		return nil
+	}
+	return s.faultHook(op)
 }
 
 // RegisterShuffle declares a shuffle's geometry. Re-registering with the
@@ -95,6 +121,9 @@ func (s *Store) RegisterShuffle(id, numMaps, numReduces int) error {
 // WriteMapOutput commits one map task's buckets. Overwrites (speculative or
 // recomputed tasks) are allowed and idempotent in effect.
 func (s *Store) WriteMapOutput(id, mapPart int, buckets map[int]Bucket) error {
+	if err := s.injected(OpMapOutputWrite); err != nil {
+		return err
+	}
 	st, ok := s.shuffles[id]
 	if !ok {
 		return fmt.Errorf("storage: unknown shuffle %d", id)
@@ -159,6 +188,9 @@ func (s *Store) MissingMapOutputs(id int) []int {
 // returning the records and total bytes fetched. It fails if the shuffle is
 // incomplete, because a real reducer would block.
 func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
+	if err := s.injected(OpShuffleRead); err != nil {
+		return nil, 0, err
+	}
 	st, ok := s.shuffles[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("storage: unknown shuffle %d", id)
@@ -180,13 +212,17 @@ func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
 
 // WriteCheckpoint persists one partition of an RDD and accounts its bytes
 // toward the running checkpoint total.
-func (s *Store) WriteCheckpoint(rdd, part int, data []record.Record, bytes int64) {
+func (s *Store) WriteCheckpoint(rdd, part int, data []record.Record, bytes int64) error {
+	if err := s.injected(OpCheckpointWrite); err != nil {
+		return err
+	}
 	k := checkpointKey{rdd: rdd, part: part}
 	if old, ok := s.checkpoints[k]; ok {
 		s.cpBytes -= old.Bytes
 	}
 	s.checkpoints[k] = Bucket{Data: data, Bytes: bytes}
 	s.cpBytes += bytes
+	return nil
 }
 
 // HasCheckpoint reports whether a partition checkpoint exists.
@@ -197,6 +233,9 @@ func (s *Store) HasCheckpoint(rdd, part int) bool {
 
 // ReadCheckpoint loads a partition checkpoint.
 func (s *Store) ReadCheckpoint(rdd, part int) ([]record.Record, int64, error) {
+	if err := s.injected(OpCheckpointRead); err != nil {
+		return nil, 0, err
+	}
 	b, ok := s.checkpoints[checkpointKey{rdd: rdd, part: part}]
 	if !ok {
 		return nil, 0, fmt.Errorf("storage: no checkpoint for rdd %d partition %d", rdd, part)
@@ -209,6 +248,72 @@ func (s *Store) TotalCheckpointBytes() int64 { return s.cpBytes }
 
 // DropShuffle discards a shuffle's outputs (dataset eviction).
 func (s *Store) DropShuffle(id int) { delete(s.shuffles, id) }
+
+// DropMapOutput discards one committed map output (simulated block loss);
+// the shuffle becomes incomplete until the partition is recomputed. It
+// reports whether an output was actually dropped.
+func (s *Store) DropMapOutput(id, mapPart int) bool {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return false
+	}
+	if _, done := st.outputs[mapPart]; !done {
+		return false
+	}
+	delete(st.outputs, mapPart)
+	st.dirty = true
+	return true
+}
+
+// DropCheckpoint discards one partition checkpoint (simulated block loss),
+// subtracting its bytes from the running total. It reports whether a
+// checkpoint was actually dropped.
+func (s *Store) DropCheckpoint(rdd, part int) bool {
+	k := checkpointKey{rdd: rdd, part: part}
+	b, ok := s.checkpoints[k]
+	if !ok {
+		return false
+	}
+	s.cpBytes -= b.Bytes
+	delete(s.checkpoints, k)
+	return true
+}
+
+// CommittedMapOutputs enumerates every committed (shuffle, mapPart) pair in
+// ascending order — the fault injector's sampling space for block loss.
+func (s *Store) CommittedMapOutputs() [][2]int {
+	ids := make([]int, 0, len(s.shuffles))
+	for id := range s.shuffles {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out [][2]int
+	for _, id := range ids {
+		st := s.shuffles[id]
+		for m := 0; m < st.numMaps; m++ {
+			if _, done := st.outputs[m]; done {
+				out = append(out, [2]int{id, m})
+			}
+		}
+	}
+	return out
+}
+
+// CheckpointBlocks enumerates every (rdd, partition) checkpoint in ascending
+// order — the fault injector's sampling space for checkpoint loss.
+func (s *Store) CheckpointBlocks() [][2]int {
+	out := make([][2]int, 0, len(s.checkpoints))
+	for k := range s.checkpoints {
+		out = append(out, [2]int{k.rdd, k.part})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
 
 // DropCheckpoints discards all checkpoints of an RDD, subtracting their
 // bytes from the running total.
