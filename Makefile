@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench examples experiments clean
+.PHONY: all build vet test test-short test-race chaos chaos-nightly bench examples experiments clean
 
 all: build vet test
 
@@ -23,6 +23,9 @@ test-race:
 
 chaos:
 	$(GO) run ./cmd/starkbench -experiment chaos
+
+chaos-nightly:
+	$(GO) run ./cmd/starkbench -experiment chaos -nightly -dump-faults
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

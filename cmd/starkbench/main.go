@@ -30,6 +30,14 @@ type experiment struct {
 // machine-readable TSV instead of the human-readable table.
 var tsvOut bool
 
+// nightly (-nightly) deepens the chaos sweep for the scheduled CI profile;
+// dumpFaults (-dump-faults) prints every armed fault schedule (kind,
+// virtual time, target) before each chaos seed runs.
+var (
+	nightly    bool
+	dumpFaults bool
+)
+
 func experimentsList() []experiment {
 	return []experiment{
 		{"fig1", "data locality benefits (C/D/D- bars)", func(bool) error {
@@ -152,9 +160,15 @@ func experimentsList() []experiment {
 		}},
 		{"chaos", "randomized fault schedules vs fault-free oracle (recovery contract)", func(quick bool) error {
 			cfg := experiments.DefaultChaos()
+			if nightly {
+				cfg = experiments.NightlyChaos()
+			}
 			if quick {
 				cfg.Seeds = 20
 				cfg.Steps = 4
+			}
+			if dumpFaults {
+				cfg.DumpFaults = os.Stdout
 			}
 			r, err := experiments.RunChaos(cfg)
 			r.Print(os.Stdout)
@@ -207,9 +221,13 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		list  = flag.Bool("list", false, "list available experiments")
 		tsv   = flag.Bool("tsv", false, "emit machine-readable TSV where the figure has series data")
+		night = flag.Bool("nightly", false, "deepen the chaos sweep (scheduled CI profile)")
+		dumpF = flag.Bool("dump-faults", false, "print each chaos seed's armed fault schedule before it runs")
 	)
 	flag.Parse()
 	tsvOut = *tsv
+	nightly = *night
+	dumpFaults = *dumpF
 	exps := experimentsList()
 	if *list || *name == "" {
 		fmt.Println("experiments:")

@@ -3,9 +3,11 @@ package stark
 import (
 	"time"
 
+	"stark/internal/config"
 	"stark/internal/engine"
 	"stark/internal/fault"
 	"stark/internal/metrics"
+	netsim "stark/internal/net"
 )
 
 // FaultSchedule is a deterministic, seed-driven fault schedule: executor
@@ -23,6 +25,30 @@ type StragglerFault = fault.Straggler
 
 // BlockLossFault deletes one persisted shuffle or checkpoint block.
 type BlockLossFault = fault.BlockLoss
+
+// PartitionFault cuts one executor off from the driver bidirectionally for
+// a window of virtual time: heartbeats, task launches, and task results are
+// all lost until the partition heals.
+type PartitionFault = fault.Partition
+
+// NetDelayFault adds extra latency to every control message for a window of
+// virtual time (the delayed-heartbeat fault).
+type NetDelayFault = fault.NetDelay
+
+// BlockCorruptFault flips the stored checksum of one persisted shuffle or
+// checkpoint block; the next read detects the mismatch and recomputes
+// through lineage.
+type BlockCorruptFault = fault.BlockCorrupt
+
+// NetworkConfig parameterizes the simulated control network: base one-way
+// delay, deterministic jitter, a random message-drop probability, and the
+// retransmission policy for reliable messages. The zero value is a perfect
+// network that delivers synchronously — the pre-network engine behaviour.
+type NetworkConfig = netsim.Config
+
+// NetworkStats counts the control messages the simulated network carried,
+// dropped, and retransmitted.
+type NetworkStats = netsim.Stats
 
 // FaultStats counts the faults an injector actually delivered.
 type FaultStats = fault.Stats
@@ -80,9 +106,39 @@ func WithSpeculation(multiplier, quantile float64) Option {
 	}
 }
 
+// WithNetwork routes all driver-executor control traffic (task launches,
+// task results, heartbeats) through a simulated network with the given
+// delay, jitter, drop, and retransmission parameters. Without this option
+// the control network is perfect and adds no latency.
+func WithNetwork(nc NetworkConfig) Option {
+	return func(c *engine.Config) { c.Network = nc }
+}
+
+// WithHeartbeat enables heartbeat-based failure detection: executors
+// heartbeat the driver every interval over the (simulated) control network;
+// the driver suspects an executor after suspectAfter without a heartbeat
+// (excluding it from scheduling) and declares it dead after deadAfter
+// (bumping its epoch and resubmitting its tasks; stale-epoch results are
+// rejected). Pass 0 for any argument to use the calibrated default. Without
+// this option the driver learns of failures omnisciently, exactly when they
+// happen.
+func WithHeartbeat(interval, suspectAfter, deadAfter time.Duration) Option {
+	return func(c *engine.Config) {
+		c.Heartbeat = config.Heartbeat{
+			Enabled:      true,
+			Interval:     interval,
+			SuspectAfter: suspectAfter,
+			DeadAfter:    deadAfter,
+		}
+	}
+}
+
 // RecoveryStats reports the engine's fault-handling counters and measured
 // recovery delays so far.
 func (c *Context) RecoveryStats() RecoveryStats { return c.eng.Recovery() }
+
+// NetworkStats reports the control-network message counters so far.
+func (c *Context) NetworkStats() NetworkStats { return c.eng.Network().Stats() }
 
 // Blacklisted lists the executors currently blacklisted, ascending.
 func (c *Context) Blacklisted() []int { return c.eng.Blacklisted() }

@@ -18,7 +18,15 @@ type Executor struct {
 	// slow is the straggler multiplier applied to task durations launched
 	// here; values <= 1 mean full speed.
 	slow float64
+	// inc counts process incarnations: 1 for the original process, +1 per
+	// restart. Heartbeats carry it so the driver can tell a restarted
+	// process from a healed partition even when the crash+restart fit
+	// inside the suspicion window.
+	inc int
 }
+
+// Incarnation reports the executor's process incarnation (1 = original).
+func (e *Executor) Incarnation() int { return e.inc }
 
 // Slowdown reports the executor's current straggler multiplier (>= 1).
 func (e *Executor) Slowdown() float64 {
@@ -78,6 +86,7 @@ func New(cfg config.Cluster) *Cluster {
 			ID:    i,
 			Slots: cfg.SlotsPerExecutor,
 			Store: NewBlockStore(cfg.MemoryPerExecutor),
+			inc:   1,
 		})
 	}
 	return c
@@ -204,12 +213,14 @@ func (c *Cluster) Kill(exec int) {
 	e.busy = 0
 }
 
-// Restart revives a dead executor with an empty cache and full speed.
+// Restart revives a dead executor with an empty cache, full speed, and a
+// new process incarnation.
 func (c *Cluster) Restart(exec int) {
 	e := c.executors[exec]
 	e.dead = false
 	e.busy = 0
 	e.slow = 0
+	e.inc++
 }
 
 // SetSlowdown sets an executor's straggler multiplier; factor <= 1 restores

@@ -139,6 +139,40 @@ func DefaultRecovery() Recovery {
 	}
 }
 
+// Heartbeat configures driver-side failure detection. When disabled (the
+// zero value) the driver learns of executor failures omnisciently, exactly
+// when they happen — the pre-network behaviour. When enabled, executors
+// send heartbeats over the simulated network every Interval; the driver
+// moves an executor alive → suspected when no heartbeat arrived for
+// SuspectAfter (excluding it from scheduling) and suspected → dead after
+// DeadAfter (bumping its epoch, resubmitting its tasks, and rejecting any
+// stale-epoch results it later delivers). A heartbeat from a suspected
+// executor clears the suspicion; one from a declared-dead executor rejoins
+// it under the new epoch.
+type Heartbeat struct {
+	Enabled bool
+	// Interval is the executor heartbeat period (also the detector's scan
+	// period).
+	Interval time.Duration
+	// SuspectAfter is the missed-heartbeat window before suspicion.
+	SuspectAfter time.Duration
+	// DeadAfter is the missed-heartbeat window before a dead declaration;
+	// must exceed SuspectAfter.
+	DeadAfter time.Duration
+}
+
+// DefaultHeartbeat returns the detection timeouts used when WithHeartbeat
+// leaves them zero: tight enough that detection plus re-execution stays
+// well inside typical checkpoint bounds, loose enough that one delayed
+// heartbeat only causes a transient suspicion.
+func DefaultHeartbeat() Heartbeat {
+	return Heartbeat{
+		Interval:     100 * time.Millisecond,
+		SuspectAfter: 300 * time.Millisecond,
+		DeadAfter:    800 * time.Millisecond,
+	}
+}
+
 // Scheduler configures task scheduling policy.
 type Scheduler struct {
 	// LocalityWait is the delay-scheduling bound: how long a task set waits

@@ -83,7 +83,7 @@ func (e *Engine) deferCheckpoint(r *rdd.RDD) {
 		}
 	}
 	e.pendingCP = append(e.pendingCP, r)
-	e.rec.CheckpointDeferrals++
+	e.recUpdate(func(r *recMetrics) { r.CheckpointDeferrals++ })
 	e.trace("checkpoint-defer", -1, -1, -1, -1, r.String())
 }
 

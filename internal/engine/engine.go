@@ -12,6 +12,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"stark/internal/cluster"
@@ -20,6 +21,7 @@ import (
 	"stark/internal/group"
 	"stark/internal/locality"
 	"stark/internal/metrics"
+	netsim "stark/internal/net"
 	"stark/internal/rdd"
 	"stark/internal/record"
 	"stark/internal/replication"
@@ -77,6 +79,12 @@ type Config struct {
 	// Faults, when non-empty, arms the deterministic fault injector on the
 	// engine's virtual clock.
 	Faults fault.Schedule
+	// Network parameterizes the simulated control-plane transport; the zero
+	// value is a perfect network that delivers synchronously.
+	Network netsim.Config
+	// Heartbeat enables driver-side failure detection over the transport;
+	// the zero value keeps the omniscient failure model.
+	Heartbeat config.Heartbeat
 	// Seed drives the scheduler's randomized remote offers; runs with equal
 	// seeds are bit-identical.
 	Seed int64
@@ -171,7 +179,26 @@ type Engine struct {
 	blacklistUntil map[int]time.Duration
 	pendingCP      []*rdd.RDD
 	inj            *fault.Injector
-	rec            metrics.RecoveryMetrics
+	// recMu guards rec, blacklist, and blacklistUntil so RecoveryStats /
+	// Blacklisted snapshots may be taken from another goroutine while a job
+	// runs. All writes happen on the event-loop goroutine.
+	recMu sync.Mutex
+	rec   metrics.RecoveryMetrics
+
+	// Control-plane transport and failure detection (detect.go). The
+	// network exists even when perfect, so launch/result routing is uniform;
+	// detection state is only consulted when hb.Enabled.
+	net *netsim.Network
+	hb  config.Heartbeat
+	// activeJobs gates the heartbeat and detector timers: with no job in
+	// flight the timers stop, so Loop.Run and RunJob still drain.
+	activeJobs    int
+	detectorArmed bool
+	beatArmed     []bool
+	lastBeat      []time.Duration
+	execView      []viewState
+	execEpoch     []int
+	incSeen       []int
 
 	completed []metrics.JobMetrics
 	stats     Stats
@@ -188,9 +215,13 @@ func New(cfg Config) *Engine {
 		cfg.Checkpoint.SerializationRatio = 0.4
 	}
 	normalizeRecovery(&cfg.Recovery)
+	normalizeHeartbeat(&cfg.Heartbeat)
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	if cfg.Network.Seed == 0 {
+		cfg.Network.Seed = seed ^ 0x6e65747 // decorrelate from scheduler draws
 	}
 	e := &Engine{
 		cfg:            cfg,
@@ -215,12 +246,45 @@ func New(cfg Config) *Engine {
 		wakeIndex:      make(map[cluster.BlockID][]*task),
 		rng:            rand.New(rand.NewSource(seed)),
 	}
+	e.net = netsim.New(cfg.Network, e.loop)
+	e.hb = cfg.Heartbeat
+	n := e.cl.NumExecutors()
+	e.beatArmed = make([]bool, n)
+	e.lastBeat = make([]time.Duration, n)
+	e.execView = make([]viewState, n)
+	e.execEpoch = make([]int, n)
+	e.incSeen = make([]int, n)
+	for i := 0; i < n; i++ {
+		e.incSeen[i] = e.cl.Executor(i).Incarnation()
+	}
 	if !cfg.Faults.Empty() {
 		e.inj = fault.New(cfg.Faults)
 		e.store.SetFaultHook(func(op storage.Op) error { return e.inj.StorageOp(string(op)) })
+		e.net.SetFaultHook(func(k netsim.Kind) bool { return e.inj.MessageOp(k.String()) })
 		e.inj.Arm(e.loop, e)
 	}
 	return e
+}
+
+// normalizeHeartbeat fills zero timeouts with defaults and enforces
+// Interval <= SuspectAfter < DeadAfter.
+func normalizeHeartbeat(hb *config.Heartbeat) {
+	if !hb.Enabled {
+		return
+	}
+	d := config.DefaultHeartbeat()
+	if hb.Interval <= 0 {
+		hb.Interval = d.Interval
+	}
+	if hb.SuspectAfter <= 0 {
+		hb.SuspectAfter = d.SuspectAfter
+	}
+	if hb.SuspectAfter < hb.Interval {
+		hb.SuspectAfter = hb.Interval
+	}
+	if hb.DeadAfter <= hb.SuspectAfter {
+		hb.DeadAfter = 2*hb.SuspectAfter + hb.Interval
+	}
 }
 
 // normalizeRecovery fills zero-valued policy fields with defaults;
@@ -270,6 +334,9 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 
 // Store exposes the persistent store.
 func (e *Engine) Store() *storage.Store { return e.store }
+
+// Network exposes the simulated control-plane transport.
+func (e *Engine) Network() *netsim.Network { return e.net }
 
 // Locality exposes the LocalityManager.
 func (e *Engine) Locality() *locality.Manager { return e.loc }
@@ -344,10 +411,26 @@ type task struct {
 	specOf      *task // original this task speculates for
 	epoch       *recoveryEpoch
 
+	// Transport/detection state: whether this attempt currently holds an
+	// executor slot, whether its executor process died under it (the
+	// completion event then reports to nobody), the process incarnation the
+	// slot was acquired from (a release against a later incarnation would
+	// corrupt the books), and the executor epoch the driver stamped at
+	// launch — a result arriving with a stale fence is rejected instead of
+	// mutating job or shuffle state.
+	slotHeld  bool
+	lost      bool
+	launchInc int
+	fence     int
+
 	// Action results accumulate here during the data plane and are applied
-	// to the job only at completion, so aborted tasks leave no trace.
+	// to the job only at result-accept time, so aborted and stale-epoch
+	// tasks leave no trace. Map-stage buckets are staged in mapOut on the
+	// executor and committed to the store only when the driver accepts the
+	// result (epoch-fenced shuffle registration).
 	count     int64
 	collected map[int][]record.Record
+	mapOut    map[int]map[int]storage.Bucket
 }
 
 // SubmitJob enqueues an action on final at the current virtual time; cb
@@ -362,6 +445,8 @@ func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) in
 		cb:        cb,
 	}
 	e.jobSeq++
+	e.activeJobs++
+	e.ensureHeartbeats()
 	result := sched.Build(final)
 	for _, st := range sched.AllStages(result) {
 		sr := &stageRun{st: st, job: j}
@@ -674,6 +759,7 @@ func (e *Engine) finishJob(j *job) {
 		return
 	}
 	j.done = true
+	e.activeJobs--
 	e.stats.Jobs++
 	jm := metrics.JobMetrics{
 		JobID:     j.id,

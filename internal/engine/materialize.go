@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -45,10 +46,7 @@ func (e *Engine) runTask(t *task, exec int) (time.Duration, error) {
 			break
 		}
 		if st.ShuffleMap {
-			if err := e.writeMapOutput(t, p, data, exec, acc); err != nil {
-				taskErr = err
-				break
-			}
+			e.bucketMapOutput(t, p, data, acc)
 			continue
 		}
 		switch t.sr.job.action {
@@ -88,10 +86,12 @@ func (e *Engine) runTask(t *task, exec int) (time.Duration, error) {
 	return overhead + acc.compute + acc.ioTotal() + gc, taskErr
 }
 
-// writeMapOutput buckets one computed map partition by the consumer's
-// partitioner and commits it to persistent storage. A write failure
-// (injected or real) surfaces as ErrStorage for the retry path.
-func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, acc *costAcc) error {
+// bucketMapOutput buckets one computed map partition by the consumer's
+// partitioner and stages it on the task; the buckets register with the
+// shuffle service only when the driver accepts the task's result (see
+// commitMapOutputs), so an attempt whose executor epoch has moved on can
+// never install shuffle outputs.
+func (e *Engine) bucketMapOutput(t *task, p int, data []record.Record, acc *costAcc) {
 	st := t.sr.st
 	part := st.Consumer.Partitioner
 	buckets := make(map[int][]record.Record)
@@ -106,13 +106,33 @@ func (e *Engine) writeMapOutput(t *task, p int, data []record.Record, exec int, 
 		out[b] = storage.Bucket{Data: recs, Bytes: bytes}
 		total += bytes
 	}
-	if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
-		return fmt.Errorf("%w: map output write shuffle %d part %d: %w", ErrStorage, st.ShuffleID, p, err)
+	if t.mapOut == nil {
+		t.mapOut = make(map[int]map[int]storage.Bucket)
 	}
+	t.mapOut[p] = out
 	// Bucketing is a cheap pass over the data; the write hits disk.
 	acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
 	acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
-	_ = exec
+}
+
+// commitMapOutputs writes a map task's staged buckets to persistent storage
+// at result-accept time, in partition order. A write failure (injected or
+// real) surfaces as ErrStorage for the retry path.
+func (e *Engine) commitMapOutputs(t *task) error {
+	if t.mapOut == nil {
+		return nil
+	}
+	st := t.sr.st
+	for _, p := range t.partitions {
+		out, ok := t.mapOut[p]
+		if !ok {
+			continue
+		}
+		if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
+			return fmt.Errorf("%w: map output write shuffle %d part %d: %w", ErrStorage, st.ShuffleID, p, err)
+		}
+	}
+	t.mapOut = nil
 	return nil
 }
 
@@ -138,6 +158,13 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 	if r.Checkpointed && e.store.HasCheckpoint(r.ID, p) {
 		data, bytes, err := e.store.ReadCheckpoint(r.ID, p)
 		if err != nil {
+			if errors.Is(err, storage.ErrCorrupt) {
+				// Integrity failure: evict the bad block so the retry attempt
+				// recomputes the partition through lineage.
+				e.store.DropCheckpoint(r.ID, p)
+				e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
+				e.trace("block-corrupt", -1, -1, -1, -1, fmt.Sprintf("checkpoint %s[%d]", r, p))
+			}
 			return nil, fmt.Errorf("%w: checkpoint read %s[%d]: %w", ErrStorage, r, p, err)
 		}
 		acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
@@ -168,6 +195,16 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 			if d.Shuffle {
 				recs, bytes, err := e.store.ReadReduce(d.ShuffleID, p)
 				if err != nil {
+					var ce *storage.CorruptError
+					if errors.As(err, &ce) {
+						// Integrity failure on a map output: evict it and report
+						// a fetch failure so the producing stage resubmits.
+						e.store.DropMapOutput(ce.Shuffle, ce.MapPart)
+						e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
+						e.trace("block-corrupt", -1, -1, -1, -1,
+							fmt.Sprintf("shuffle=%d map=%d", ce.Shuffle, ce.MapPart))
+						return nil, &fetchError{shuffle: d.ShuffleID, err: err}
+					}
 					if !e.store.ShuffleComplete(d.ShuffleID) {
 						return nil, &fetchError{shuffle: d.ShuffleID, err: err}
 					}

@@ -24,14 +24,37 @@ type recoveryEpoch struct {
 	pending int
 }
 
+// recMetrics shortens the signature of recUpdate closures.
+type recMetrics = metrics.RecoveryMetrics
+
+// recUpdate applies one mutation to the recovery counters under recMu. All
+// mutations happen on the loop goroutine; the lock exists so Recovery() and
+// Blacklisted() can be called concurrently from other goroutines (progress
+// monitors, tests under -race) without tearing a snapshot.
+func (e *Engine) recUpdate(f func(*recMetrics)) {
+	e.recMu.Lock()
+	f(&e.rec)
+	e.recMu.Unlock()
+}
+
 // Recovery returns a snapshot of the engine's fault-handling counters and
-// measured recovery delays.
-func (e *Engine) Recovery() metrics.RecoveryMetrics { return e.rec }
+// measured recovery delays. Safe to call from any goroutine.
+func (e *Engine) Recovery() metrics.RecoveryMetrics {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	snap := e.rec
+	snap.RecoveryDelays = append([]time.Duration(nil), e.rec.RecoveryDelays...)
+	snap.DetectionDelays = append([]time.Duration(nil), e.rec.DetectionDelays...)
+	return snap
+}
 
 // Blacklisted lists the executors currently on the blacklist, ascending. An
 // entry stays on the list — even through restarts and probationary offers —
-// until the executor completes a task successfully.
+// until the executor completes a task successfully. Safe to call from any
+// goroutine.
 func (e *Engine) Blacklisted() []int {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
 	out := make([]int, 0, len(e.blacklist))
 	for id := range e.blacklist {
 		out = append(out, id)
@@ -41,9 +64,13 @@ func (e *Engine) Blacklisted() []int {
 }
 
 // schedulable reports whether the scheduler may offer an executor's slots:
-// it must be alive and not inside a blacklist exclusion window.
+// it must be alive (and, under heartbeat detection, believed alive by the
+// driver) and not inside a blacklist exclusion window.
 func (e *Engine) schedulable(id int) bool {
 	if id < 0 || id >= e.cl.NumExecutors() || e.cl.Executor(id).Dead() {
+		return false
+	}
+	if e.hb.Enabled && e.execView[id] != viewAlive {
 		return false
 	}
 	if until, ok := e.blacklistUntil[id]; ok && until > e.loop.Now() {
@@ -100,7 +127,7 @@ func (t *task) detachPartner() bool {
 // backoff until the retry budget is spent, which fails the job.
 func (e *Engine) onTaskFailure(t *task) {
 	err := t.failErr
-	e.rec.TaskFailures++
+	e.recUpdate(func(r *recMetrics) { r.TaskFailures++ })
 	e.trace("task-fail", t.sr.job.id, t.sr.st.ID, t.id, t.exec,
 		fmt.Sprintf("attempt=%d err=%v", t.attempt, err))
 	if t.detachPartner() {
@@ -112,7 +139,7 @@ func (e *Engine) onTaskFailure(t *task) {
 	}
 	var fe *fetchError
 	if errors.As(err, &fe) {
-		e.rec.FetchFailures++
+		e.recUpdate(func(r *recMetrics) { r.FetchFailures++ })
 		e.resubmitForFetch(t, fe.shuffle)
 		return
 	}
@@ -122,7 +149,7 @@ func (e *Engine) onTaskFailure(t *task) {
 			t.id, t.sr.st.ID, t.attempt+1, err))
 		return
 	}
-	e.rec.TaskRetries++
+	e.recUpdate(func(r *recMetrics) { r.TaskRetries++ })
 	shift := uint(t.attempt)
 	if shift > 16 {
 		shift = 16
@@ -160,9 +187,11 @@ func (e *Engine) noteExecutorFailure(exec int) {
 		return // already inside an exclusion window
 	}
 	until := e.loop.Now() + e.cfg.Recovery.BlacklistExpiry
+	e.recMu.Lock()
 	e.blacklist[exec] = true
 	e.blacklistUntil[exec] = until
 	e.rec.ExecutorBlacklists++
+	e.recMu.Unlock()
 	e.trace("executor-blacklist", -1, -1, -1, exec,
 		fmt.Sprintf("failures=%d until=%v", e.execFailures[exec], until))
 	// Re-run scheduling when the window expires so probation can begin.
@@ -177,9 +206,11 @@ func (e *Engine) noteExecutorSuccess(exec int) {
 	}
 	e.execFailures[exec] = 0
 	if e.blacklist[exec] {
+		e.recMu.Lock()
 		delete(e.blacklist, exec)
 		delete(e.blacklistUntil, exec)
 		e.rec.ExecutorUnblacklists++
+		e.recMu.Unlock()
 		e.trace("executor-unblacklist", -1, -1, -1, exec, "")
 	}
 }
@@ -195,7 +226,7 @@ func (e *Engine) noteTaskSuccess(t *task) {
 	}
 	if o := t.specOf; o != nil && !o.aborted {
 		e.cancelTask(o)
-		e.rec.SpeculativeWins++
+		e.recUpdate(func(r *recMetrics) { r.SpeculativeWins++ })
 		e.trace("task-speculate-win", t.sr.job.id, t.sr.st.ID, t.id, t.exec,
 			fmt.Sprintf("beat original %d", o.id))
 	}
@@ -205,7 +236,7 @@ func (e *Engine) noteTaskSuccess(t *task) {
 		ep.pending--
 		if ep.pending == 0 {
 			d := e.loop.Now() - ep.start
-			e.rec.RecoveryDelays = append(e.rec.RecoveryDelays, d)
+			e.recUpdate(func(r *recMetrics) { r.RecoveryDelays = append(r.RecoveryDelays, d) })
 			e.trace("recovery-complete", -1, -1, -1, -1, fmt.Sprintf("delay=%v", d))
 		}
 	}
@@ -221,7 +252,10 @@ func (e *Engine) cancelTask(t *task) {
 	t.aborted = true
 	if _, running := e.running[t.id]; running {
 		delete(e.running, t.id)
-		e.cl.Executor(t.exec).Release()
+		if t.slotHeld {
+			t.slotHeld = false
+			e.cl.Executor(t.exec).Release()
+		}
 	}
 }
 
@@ -307,7 +341,7 @@ func (e *Engine) bumpResubmit(j *job, shuffleID int) bool {
 			shuffleID, e.cfg.Recovery.MaxStageResubmissions, ErrFetchFailed))
 		return false
 	}
-	e.rec.StageResubmissions++
+	e.recUpdate(func(r *recMetrics) { r.StageResubmissions++ })
 	return true
 }
 
@@ -432,7 +466,7 @@ func (e *Engine) maybeSpeculate(sr *stageRun) {
 		clone := e.cloneTask(t, t.attempt)
 		clone.specOf = t
 		t.spec = clone
-		e.rec.SpeculativeLaunches++
+		e.recUpdate(func(r *recMetrics) { r.SpeculativeLaunches++ })
 		e.trace("task-speculate", sr.job.id, sr.st.ID, clone.id, exec,
 			fmt.Sprintf("of=%d expected=%v median=%v", t.id, t.expectedEnd-t.tm.Started, med))
 		e.launch(clone, exec, metrics.Remote)

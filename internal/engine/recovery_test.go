@@ -418,4 +418,94 @@ func TestMissingShuffleRebuiltForLaterJob(t *testing.T) {
 	}
 }
 
+// TestBlacklistProbationHealing: a blacklisted executor whose exclusion
+// window expires by virtual time (no restart involved) gets probationary
+// offers while still listed; its first successful task heals the entry.
+func TestBlacklistProbationHealing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Recovery.BlacklistThreshold = 1
+	cfg.Recovery.BlacklistExpiry = 2 * time.Millisecond
+	e := New(cfg)
+	e.noteExecutorFailure(2)
+	if got := e.Blacklisted(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("blacklisted = %v, want [2]", got)
+	}
+	if e.schedulable(2) {
+		t.Fatal("executor must be excluded inside the exclusion window")
+	}
+
+	// A long job outlives the 2ms window: probation reopens the executor
+	// mid-job, it serves tasks, and the first success clears the entry.
+	g := e.Graph()
+	src := g.Source("src", dataset(4000, 32), true)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(32))
+	n, jm, err := e.Count(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4000 {
+		t.Fatalf("count = %d, want 4000", n)
+	}
+	served := false
+	for _, tm := range jm.Tasks {
+		if tm.Executor == 2 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("probation never offered the blacklisted executor any task")
+	}
+	if got := e.Blacklisted(); len(got) != 0 {
+		t.Fatalf("successful probation task should clear the blacklist, got %v", got)
+	}
+	if e.Recovery().ExecutorUnblacklists != 1 {
+		t.Fatalf("unblacklists = %d, want 1", e.Recovery().ExecutorUnblacklists)
+	}
+}
+
+// TestSpeculationOriginalWins: a mild straggler triggers a speculative copy
+// but finishes before it — the original wins, the clone is cancelled (the
+// task-speculate-lose trace), no speculative win is recorded, and the job
+// counts each partition exactly once.
+func TestSpeculationOriginalWins(t *testing.T) {
+	cfg := testConfig()
+	cfg.Recovery.Speculation = true
+	e := New(cfg)
+	// Factor 1.8 > the 1.5 multiplier, so copies launch at the 75% quantile;
+	// but the original only has ~0.8 of a task left while the copy needs a
+	// full task, so the original finishes first.
+	e.SetStraggler(3, 1.8)
+	var lost, won int
+	e.SetTracer(func(ev TraceEvent) {
+		switch ev.Kind {
+		case "task-speculate-lose":
+			lost++
+		case "task-speculate-win":
+			won++
+		}
+	})
+	g := e.Graph()
+	src := g.Source("src", dataset(160, 8), true)
+	n, jm, err := e.Count(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 160 {
+		t.Fatalf("count = %d, want 160", n)
+	}
+	rec := e.Recovery()
+	if rec.SpeculativeLaunches == 0 {
+		t.Fatal("no speculative copies launched against the mild straggler")
+	}
+	if rec.SpeculativeWins != 0 || won != 0 {
+		t.Fatalf("speculative wins = %d (trace %d), want 0 — the original should win", rec.SpeculativeWins, won)
+	}
+	if lost != rec.SpeculativeLaunches {
+		t.Fatalf("speculate-lose traces = %d, want one per launch (%d)", lost, rec.SpeculativeLaunches)
+	}
+	if len(jm.Tasks) != 8 {
+		t.Fatalf("job recorded %d task completions, want 8 (losing clones must not double-count)", len(jm.Tasks))
+	}
+}
+
 var _ = fmt.Sprintf // keep fmt imported for debug edits

@@ -7,6 +7,7 @@ import (
 
 	"stark/internal/cluster"
 	"stark/internal/metrics"
+	netsim "stark/internal/net"
 	"stark/internal/replication"
 )
 
@@ -295,13 +296,19 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
-// launch runs a task on an executor: the data plane executes immediately
-// (mutating caches), and the computed duration schedules the completion
-// event.
+// launch assigns a task to an executor: the slot is reserved driver-side,
+// the task is fenced with the executor's current epoch, and the launch
+// command travels over the control network (reliable — it retransmits
+// through transient partitions). Under the default zero-latency network the
+// command delivers synchronously and the data plane runs in this same
+// event, byte-identical to the pre-network engine.
 func (e *Engine) launch(t *task, exec int, loc metrics.Locality) {
 	ex := e.cl.Executor(exec)
 	ex.Acquire()
+	t.slotHeld = true
 	t.exec = exec
+	t.launchInc = ex.Incarnation()
+	t.fence = e.execEpoch[exec]
 	t.tm.Executor = exec
 	t.tm.Locality = loc
 	t.tm.Started = e.loop.Now()
@@ -311,7 +318,41 @@ func (e *Engine) launch(t *task, exec int, loc metrics.Locality) {
 	}
 	e.running[t.id] = t
 	e.traceTaskLaunch(t, exec, loc)
+	e.net.Send(netsim.Driver, exec, netsim.TaskLaunch, true, func() { e.execTask(t, exec) })
+}
 
+// releaseSlot frees a task's reserved slot, but only while the slot
+// accounting it was charged against still exists: a kill zeroes the
+// executor's busy count wholesale, so a release against a dead — or since
+// restarted — process would corrupt the books.
+func (e *Engine) releaseSlot(t *task) {
+	if !t.slotHeld {
+		return
+	}
+	t.slotHeld = false
+	ex := e.cl.Executor(t.exec)
+	if !ex.Dead() && ex.Incarnation() == t.launchInc {
+		ex.Release()
+	}
+}
+
+// execTask is the executor-side receipt of a launch command: the data plane
+// executes immediately (mutating caches), and the computed duration
+// schedules the completion event. A command that arrives after the task was
+// cancelled, or at a process that has since died, does nothing.
+func (e *Engine) execTask(t *task, exec int) {
+	if t.aborted || t.lost {
+		e.releaseSlot(t)
+		return
+	}
+	ex := e.cl.Executor(exec)
+	if ex.Dead() || ex.Incarnation() != t.launchInc {
+		// Delivered to a dead (or reborn) process: nothing runs and no
+		// result will come back. The driver re-learns via its failure path.
+		t.slotHeld = false
+		t.lost = true
+		return
+	}
 	dur, err := e.runTask(t, exec)
 	if err != nil {
 		t.failErr = err
@@ -322,22 +363,48 @@ func (e *Engine) launch(t *task, exec int, loc metrics.Locality) {
 		dur = time.Duration(float64(dur) * f)
 	}
 	t.expectedEnd = e.loop.Now() + dur
-	e.loop.After(dur, func() { e.complete(t) })
+	e.loop.After(dur, func() { e.taskDone(t) })
 }
 
-// complete finalizes a task: slot release, metrics, replica bookkeeping,
-// stage countdown. Failed attempts divert to the recovery plane.
-func (e *Engine) complete(t *task) {
-	if t.aborted {
-		// The executor died mid-flight (slot accounting was reset by Kill) or
-		// the task lost a speculation race (cancelTask released the slot).
+// taskDone is the executor-side completion: the slot frees and the result
+// reports back over the control network (reliable). A task whose process
+// died mid-run reports to nobody; a task the driver cancelled under the
+// same epoch is dropped executor-side. A cancelled task whose epoch moved
+// on (the driver declared this executor dead) still reports, so the driver
+// can exercise — and count — the stale-epoch rejection.
+func (e *Engine) taskDone(t *task) {
+	if t.lost {
+		return
+	}
+	e.releaseSlot(t)
+	if t.aborted && t.fence == e.execEpoch[t.exec] {
 		delete(e.running, t.id)
 		return
 	}
+	e.net.Send(t.exec, netsim.Driver, netsim.TaskResult, true, func() { e.onTaskResult(t) })
+}
+
+// onTaskResult is the driver-side receipt of a task result: epoch fencing
+// first, then map-output commit, metrics, replica bookkeeping, and stage
+// countdown. Failed attempts divert to the recovery plane.
+func (e *Engine) onTaskResult(t *task) {
 	delete(e.running, t.id)
-	e.cl.Executor(t.exec).Release()
+	if t.aborted || t.fence != e.execEpoch[t.exec] {
+		if t.fence != e.execEpoch[t.exec] {
+			e.recUpdate(func(r *recMetrics) { r.StaleEpochRejections++ })
+			e.trace("stale-result", t.sr.job.id, t.sr.st.ID, t.id, t.exec,
+				fmt.Sprintf("fence=%d epoch=%d", t.fence, e.execEpoch[t.exec]))
+		}
+		return
+	}
 	t.tm.Finished = e.loop.Now()
 	if t.failErr != nil {
+		e.onTaskFailure(t)
+		e.schedule()
+		return
+	}
+	if err := e.commitMapOutputs(t); err != nil {
+		t.failErr = err
 		e.onTaskFailure(t)
 		e.schedule()
 		return
@@ -401,17 +468,47 @@ func (e *Engine) deReplicate(ns string, unit int) {
 	e.trace("replica-drop", -1, -1, -1, victim, fmt.Sprintf("unit=%s/%d", ns, unit))
 }
 
-// KillExecutor fails an executor at the current virtual time: cached blocks
-// vanish, running tasks abort and are resubmitted, and locality assignments
-// fail over (lineage recomputation happens naturally when the resubmitted
-// tasks cannot find cached parents). The kill opens a recovery epoch: the
-// virtual time until every aborted task's replacement succeeds is recorded
-// as this failure's recovery delay. Task ids are walked in sorted order so
-// clone ids stay deterministic.
+// KillExecutor fails an executor process at the current virtual time:
+// cached blocks vanish and its running tasks will report to nobody. With
+// heartbeat detection disabled the driver also reacts omnisciently, right
+// now: the epoch bumps, running tasks are resubmitted, and locality
+// assignments fail over. With detection enabled the driver reacts only
+// when the heartbeat timeouts expire (see declareDead), so detection
+// latency becomes part of the measured recovery delay.
 func (e *Engine) KillExecutor(id int) {
 	e.trace("executor-kill", -1, -1, -1, id, "")
 	e.cl.Kill(id)
+	ids := make([]int, 0, len(e.running))
+	for tid := range e.running {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	for _, tid := range ids {
+		t := e.running[tid]
+		if t.exec != id || t.lost {
+			continue
+		}
+		// The process died under the task: its slot accounting is gone and
+		// no completion or result event will fire for it.
+		t.lost = true
+		t.slotHeld = false
+	}
+	if e.hb.Enabled {
+		return
+	}
+	e.execEpoch[id]++
 	e.loc.DropExecutor(id, e.cl.AliveExecutors())
+	e.resubmitLostTasks(id, e.loop.Now())
+	e.schedule()
+}
+
+// resubmitLostTasks aborts every tracked task on an executor the driver has
+// given up on and enqueues fresh clones. The shared recovery epoch opens at
+// epochStart — the failure time when the driver is omniscient, the
+// executor's last heard heartbeat under detection — and closes when every
+// clone has succeeded, yielding the measured recovery delay. Task ids are
+// walked in sorted order so clone ids stay deterministic.
+func (e *Engine) resubmitLostTasks(id int, epochStart time.Duration) {
 	ids := make([]int, 0, len(e.running))
 	for tid := range e.running {
 		ids = append(ids, tid)
@@ -433,7 +530,7 @@ func (e *Engine) KillExecutor(id int) {
 		}
 		if t.epoch == nil {
 			if ep == nil {
-				ep = &recoveryEpoch{start: e.loop.Now()}
+				ep = &recoveryEpoch{start: epochStart}
 			}
 			t.epoch = ep
 			ep.pending++
@@ -443,18 +540,26 @@ func (e *Engine) KillExecutor(id int) {
 			fmt.Sprintf("of=%d killed exec=%d", t.id, id))
 		e.enqueue(clone)
 	}
-	e.schedule()
 }
 
-// RestartExecutor revives a failed executor with a cold cache. A restart
-// also closes any blacklist exclusion window (the fresh process gets
-// probationary offers; only a successful task clears the blacklist entry
-// itself) and retries checkpoints deferred while the cluster had no live
-// executor.
+// RestartExecutor revives a failed executor process with a cold cache. With
+// heartbeat detection disabled the driver reacts omnisciently: any
+// blacklist exclusion window closes (the fresh process gets probationary
+// offers; only a successful task clears the blacklist entry itself),
+// deferred checkpoints retry, and scheduling resumes. With detection
+// enabled the new process merely starts heartbeating — the driver notices
+// the new incarnation when the first beat arrives (see observeRestart).
 func (e *Engine) RestartExecutor(id int) {
 	e.trace("executor-restart", -1, -1, -1, id, "")
 	e.cl.Restart(id)
+	if e.hb.Enabled {
+		e.armBeat(id)
+		e.ensureHeartbeats()
+		return
+	}
+	e.recMu.Lock()
 	delete(e.blacklistUntil, id)
+	e.recMu.Unlock()
 	e.drainDeferredCheckpoints()
 	e.schedule()
 }

@@ -13,10 +13,13 @@ import (
 // ChaosConfig parameterizes the chaos harness: a deterministic multi-stage
 // workload is run once fault-free (the oracle), then once per seed under a
 // randomized-but-deterministic fault schedule (executor crashes and
-// restarts, stragglers, transient storage errors, lost shuffle/checkpoint
-// blocks). Every faulted run must produce results bit-identical to the
-// oracle, finish without a panic reaching the driver, and keep every
-// measured recovery delay within Bound.
+// restarts, stragglers, transient storage errors, lost or corrupted
+// shuffle/checkpoint blocks, network partitions, message drops, and delay
+// windows). Every run — oracle included — uses heartbeat failure detection
+// over a simulated control network. Every faulted run must produce results
+// bit-identical to the oracle, finish without a panic reaching the driver,
+// and keep every measured recovery delay (detection latency included)
+// within Bound.
 type ChaosConfig struct {
 	Seeds     int // fault schedules to run
 	Executors int
@@ -25,6 +28,10 @@ type ChaosConfig struct {
 	Records   int
 	Steps     int           // query jobs after the build job
 	Bound     time.Duration // recovery delay bound r (also the checkpoint bound)
+
+	// DumpFaults, when non-nil, receives every seed's armed fault schedule
+	// (kind, virtual time, target) before that seed runs.
+	DumpFaults io.Writer
 }
 
 // DefaultChaos mirrors the scale of the paper's cluster runs while staying
@@ -41,6 +48,15 @@ func DefaultChaos() ChaosConfig {
 	}
 }
 
+// NightlyChaos deepens the sweep for the scheduled CI profile: four times
+// the schedules and a longer workload per schedule.
+func NightlyChaos() ChaosConfig {
+	cfg := DefaultChaos()
+	cfg.Seeds = 120
+	cfg.Steps = 8
+	return cfg
+}
+
 // ChaosResult reports the harness outcome.
 type ChaosResult struct {
 	Cfg    ChaosConfig
@@ -51,11 +67,16 @@ type ChaosResult struct {
 	Violations []string
 
 	// Aggregates across all seeded runs.
-	Crashes       int
-	Restarts      int
-	Stragglers    int
-	BlocksDropped int
-	StorageErrors int
+	Crashes         int
+	Restarts        int
+	Stragglers      int
+	BlocksDropped   int
+	BlocksCorrupted int
+	StorageErrors   int
+	Partitions      int
+	Heals           int
+	DelayWindows    int
+	MsgDrops        int
 
 	TaskFailures  int
 	TaskRetries   int
@@ -64,6 +85,14 @@ type ChaosResult struct {
 	SpecLaunches  int
 	SpecWins      int
 	Blacklists    int
+
+	Suspicions     int
+	SuspCleared    int
+	DeadDecls      int
+	Rejoins        int
+	StaleRejects   int
+	CorruptReads   int // corrupt blocks detected by checksum on read
+	MaxDetect      time.Duration
 
 	MaxDelay time.Duration // largest recovery delay seen over all seeds
 	Horizon  time.Duration // fault window (the oracle's virtual makespan)
@@ -94,6 +123,14 @@ func chaosWorkload(cfg ChaosConfig, opts ...stark.Option) (run chaosRun) {
 		stark.WithSeed(7),
 		stark.WithCheckpointing(cfg.Bound, 1),
 		stark.WithSpeculation(1.5, 0.75),
+		// Control traffic rides a lossy-capable network and failures are
+		// detected via heartbeats, in the oracle too, so fingerprints are
+		// compared under identical machinery.
+		stark.WithNetwork(stark.NetworkConfig{
+			BaseDelay: 200 * time.Microsecond,
+			Jitter:    300 * time.Microsecond,
+		}),
+		stark.WithHeartbeat(40*time.Millisecond, 120*time.Millisecond, 300*time.Millisecond),
 	}
 	ctx := stark.NewContext(append(base, opts...)...)
 	defer func() {
@@ -163,7 +200,14 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res.Horizon = oracle.end
 
 	for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
-		sched := stark.RandomFaultSchedule(seed, res.Horizon, cfg.Executors)
+		sched := stark.RandomFaultSchedule(seed, res.Horizon, cfg.Executors).
+			WithNetFaults(seed, res.Horizon, cfg.Executors)
+		if cfg.DumpFaults != nil {
+			fprintf(cfg.DumpFaults, "seed %d fault schedule:\n", seed)
+			for _, line := range sched.Describe() {
+				fprintf(cfg.DumpFaults, "  %s\n", line)
+			}
+		}
 		run := chaosWorkload(cfg, stark.WithFaults(sched))
 		switch {
 		case run.err != nil:
@@ -181,7 +225,12 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.Restarts += run.faults.Restarts
 		res.Stragglers += run.faults.Stragglers
 		res.BlocksDropped += run.faults.BlocksDropped
+		res.BlocksCorrupted += run.faults.BlocksCorrupted
 		res.StorageErrors += run.faults.StorageErrors
+		res.Partitions += run.faults.Partitions
+		res.Heals += run.faults.Heals
+		res.DelayWindows += run.faults.DelayWindows
+		res.MsgDrops += run.faults.MsgDrops
 		res.TaskFailures += run.rec.TaskFailures
 		res.TaskRetries += run.rec.TaskRetries
 		res.FetchFailures += run.rec.FetchFailures
@@ -189,6 +238,15 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.SpecLaunches += run.rec.SpeculativeLaunches
 		res.SpecWins += run.rec.SpeculativeWins
 		res.Blacklists += run.rec.ExecutorBlacklists
+		res.Suspicions += run.rec.Suspicions
+		res.SuspCleared += run.rec.SuspicionsCleared
+		res.DeadDecls += run.rec.DeadDeclarations
+		res.Rejoins += run.rec.Rejoins
+		res.StaleRejects += run.rec.StaleEpochRejections
+		res.CorruptReads += run.rec.CorruptBlocks
+		if d := run.rec.MaxDetectionDelay(); d > res.MaxDetect {
+			res.MaxDetect = d
+		}
 		if d := run.rec.MaxRecoveryDelay(); d > res.MaxDelay {
 			res.MaxDelay = d
 		}
@@ -205,11 +263,15 @@ func (r ChaosResult) Print(w io.Writer) {
 	fprintf(w, "Chaos: %d randomized fault schedules vs fault-free oracle (bound r=%v)\n",
 		r.Cfg.Seeds, r.Cfg.Bound)
 	fprintf(w, "  oracle fingerprint %s, fault window %v (virtual)\n", r.Oracle, r.Horizon)
-	fprintf(w, "  faults injected: crashes=%d restarts=%d stragglers=%d blockLoss=%d storageErr=%d\n",
-		r.Crashes, r.Restarts, r.Stragglers, r.BlocksDropped, r.StorageErrors)
+	fprintf(w, "  faults injected: crashes=%d restarts=%d stragglers=%d blockLoss=%d blockCorrupt=%d storageErr=%d\n",
+		r.Crashes, r.Restarts, r.Stragglers, r.BlocksDropped, r.BlocksCorrupted, r.StorageErrors)
+	fprintf(w, "  network faults:  partitions=%d heals=%d delayWindows=%d msgDrops=%d\n",
+		r.Partitions, r.Heals, r.DelayWindows, r.MsgDrops)
 	fprintf(w, "  recovery work:   taskFail=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d\n",
 		r.TaskFailures, r.TaskRetries, r.FetchFailures, r.Resubmits,
 		r.SpecWins, r.SpecLaunches, r.Blacklists)
+	fprintf(w, "  detection:       suspect=%d cleared=%d dead=%d rejoin=%d staleEpoch=%d corruptReads=%d maxDetect=%v\n",
+		r.Suspicions, r.SuspCleared, r.DeadDecls, r.Rejoins, r.StaleRejects, r.CorruptReads, r.MaxDetect)
 	fprintf(w, "  max recovery delay %v <= bound %v\n", r.MaxDelay, r.Cfg.Bound)
 	if len(r.Violations) == 0 {
 		fprintf(w, "  all %d seeds produced oracle-identical results within the bound\n", r.Cfg.Seeds)

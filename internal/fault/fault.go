@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 
 	"stark/internal/vtime"
@@ -50,6 +52,33 @@ type BlockLoss struct {
 	Pick       int
 }
 
+// Partition cuts one executor off from the driver — bidirectionally, for a
+// window of virtual time. Heartbeats and task results are lost while the
+// window is open; what happens next depends on whether the window outlasts
+// the driver's suspicion/death timeouts.
+type Partition struct {
+	At       time.Duration
+	For      time.Duration
+	Executor int
+}
+
+// NetDelay adds Extra latency to every control-plane message for a window
+// of virtual time — the delayed-heartbeat fault.
+type NetDelay struct {
+	At    time.Duration
+	For   time.Duration
+	Extra time.Duration
+}
+
+// BlockCorrupt flips the checksum of one persisted block at a virtual time,
+// so the next reader sees an integrity failure instead of wrong bytes. Pick
+// is reduced modulo the committed block count, like BlockLoss.
+type BlockCorrupt struct {
+	At         time.Duration
+	Checkpoint bool // true: checkpoint block; false: shuffle map output
+	Pick       int
+}
+
 // Schedule is a complete fault plan. The zero value injects nothing.
 type Schedule struct {
 	// Seed drives the transient storage-error rolls; runs with equal seeds
@@ -61,17 +90,28 @@ type Schedule struct {
 	Crashes          []Crash
 	Stragglers       []Straggler
 	BlockLoss        []BlockLoss
+
+	// Network-model faults (require the engine's transport layer).
+	// MsgDropProb is the per-message probability that a control-plane
+	// message is lost in flight, rolled on an RNG stream independent of
+	// the storage-error rolls.
+	MsgDropProb  float64
+	Partitions   []Partition
+	NetDelays    []NetDelay
+	BlockCorrupt []BlockCorrupt
 }
 
 // Empty reports whether the schedule injects no faults at all.
 func (s Schedule) Empty() bool {
-	return s.StorageErrorProb == 0 && len(s.Crashes) == 0 &&
-		len(s.Stragglers) == 0 && len(s.BlockLoss) == 0
+	return s.StorageErrorProb == 0 && s.MsgDropProb == 0 &&
+		len(s.Crashes) == 0 && len(s.Stragglers) == 0 && len(s.BlockLoss) == 0 &&
+		len(s.Partitions) == 0 && len(s.NetDelays) == 0 && len(s.BlockCorrupt) == 0
 }
 
 // Events reports the number of scheduled (non-probabilistic) fault events.
 func (s Schedule) Events() int {
-	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss)
+	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss) +
+		len(s.Partitions) + len(s.NetDelays) + len(s.BlockCorrupt)
 }
 
 // System is the surface the injector drives; the engine implements it.
@@ -84,37 +124,66 @@ type System interface {
 	// to drop.
 	DropShuffleBlock(pick int) bool
 	DropCheckpointBlock(pick int) bool
+	// PartitionExecutor / HealExecutor open and close a bidirectional
+	// network partition between the driver and one executor.
+	PartitionExecutor(id int)
+	HealExecutor(id int)
+	// SetNetDelay adds extra latency to every control message (0 restores
+	// normal latency).
+	SetNetDelay(extra time.Duration)
+	// CorruptShuffleBlock / CorruptCheckpointBlock flip the checksum of the
+	// pick-th committed block (modulo the current count), reporting whether
+	// anything existed to corrupt.
+	CorruptShuffleBlock(pick int) bool
+	CorruptCheckpointBlock(pick int) bool
 }
 
 // Stats counts the faults an injector actually delivered.
 type Stats struct {
-	Crashes        int
-	Restarts       int
-	Stragglers     int
-	BlocksDropped  int
-	StorageErrors  int
-	StorageRolls   int // operations that consulted the error probability
-	MissedDrops    int // block-loss events that found nothing to drop
+	Crashes         int
+	Restarts        int
+	Stragglers      int
+	BlocksDropped   int
+	BlocksCorrupted int
+	Partitions      int
+	Heals           int
+	DelayWindows    int
+	StorageErrors   int
+	StorageRolls    int // operations that consulted the error probability
+	MsgDrops        int
+	MsgRolls        int // messages that consulted the drop probability
+	MissedDrops     int // block events that found nothing to drop/corrupt
 }
 
-// Total reports the number of faults delivered (restarts are repairs, not
-// faults, and are excluded).
+// Total reports the number of faults delivered (restarts and heals are
+// repairs, not faults, and are excluded).
 func (s Stats) Total() int {
-	return s.Crashes + s.Stragglers + s.BlocksDropped + s.StorageErrors
+	return s.Crashes + s.Stragglers + s.BlocksDropped + s.BlocksCorrupted +
+		s.Partitions + s.DelayWindows + s.StorageErrors + s.MsgDrops
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d blocksDropped=%d storageErrors=%d/%d",
-		s.Crashes, s.Restarts, s.Stragglers, s.BlocksDropped, s.StorageErrors, s.StorageRolls)
+	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d",
+		s.Crashes, s.Restarts, s.Stragglers, s.Partitions, s.DelayWindows,
+		s.BlocksDropped, s.BlocksCorrupted, s.StorageErrors, s.StorageRolls,
+		s.MsgDrops, s.MsgRolls)
 }
 
 // Injector delivers one Schedule. Create with New, wire storage errors via
-// StorageOp, and call Arm once to place the scheduled events on the clock.
+// StorageOp and message drops via MessageOp, and call Arm once to place the
+// scheduled events on the clock. Fault delivery happens on the engine's
+// single event-loop goroutine; the mutex only protects the Stats snapshot
+// so monitoring goroutines may read counters mid-run.
 type Injector struct {
 	sched Schedule
 	rng   *rand.Rand
-	stats Stats
+	// msgRNG is a separate stream for message-drop rolls so arming network
+	// faults never perturbs the storage-error roll sequence (determinism
+	// across feature combinations).
+	msgRNG *rand.Rand
+	mu     sync.Mutex
+	stats  Stats
 }
 
 // New builds an injector for the schedule.
@@ -123,14 +192,30 @@ func New(s Schedule) *Injector {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Injector{sched: s, rng: rand.New(rand.NewSource(seed))}
+	return &Injector{
+		sched:  s,
+		rng:    rand.New(rand.NewSource(seed)),
+		msgRNG: rand.New(rand.NewSource(mix(seed ^ 0xbeef))),
+	}
 }
 
 // Schedule returns the armed schedule.
 func (in *Injector) Schedule() Schedule { return in.sched }
 
-// Stats returns the faults delivered so far.
-func (in *Injector) Stats() Stats { return in.stats }
+// Stats returns a snapshot of the faults delivered so far. Safe to call
+// from a goroutine other than the event loop's.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// bump applies one stats mutation under the lock.
+func (in *Injector) bump(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
 
 // Arm places every scheduled fault event on the loop. Call once, before
 // running the loop.
@@ -138,12 +223,12 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 	for _, c := range in.sched.Crashes {
 		c := c
 		loop.At(c.At, func() {
-			in.stats.Crashes++
+			in.bump(func(s *Stats) { s.Crashes++ })
 			sys.KillExecutor(c.Executor)
 		})
 		if c.RestartAfter > 0 {
 			loop.At(c.At+c.RestartAfter, func() {
-				in.stats.Restarts++
+				in.bump(func(s *Stats) { s.Restarts++ })
 				sys.RestartExecutor(c.Executor)
 			})
 		}
@@ -151,7 +236,7 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 	for _, st := range in.sched.Stragglers {
 		st := st
 		loop.At(st.At, func() {
-			in.stats.Stragglers++
+			in.bump(func(s *Stats) { s.Stragglers++ })
 			sys.SetStraggler(st.Executor, st.Factor)
 		})
 		loop.At(st.At+st.For, func() { sys.SetStraggler(st.Executor, 1) })
@@ -165,11 +250,50 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 			} else {
 				dropped = sys.DropShuffleBlock(bl.Pick)
 			}
-			if dropped {
-				in.stats.BlocksDropped++
+			in.bump(func(s *Stats) {
+				if dropped {
+					s.BlocksDropped++
+				} else {
+					s.MissedDrops++
+				}
+			})
+		})
+	}
+	for _, p := range in.sched.Partitions {
+		p := p
+		loop.At(p.At, func() {
+			in.bump(func(s *Stats) { s.Partitions++ })
+			sys.PartitionExecutor(p.Executor)
+		})
+		loop.At(p.At+p.For, func() {
+			in.bump(func(s *Stats) { s.Heals++ })
+			sys.HealExecutor(p.Executor)
+		})
+	}
+	for _, d := range in.sched.NetDelays {
+		d := d
+		loop.At(d.At, func() {
+			in.bump(func(s *Stats) { s.DelayWindows++ })
+			sys.SetNetDelay(d.Extra)
+		})
+		loop.At(d.At+d.For, func() { sys.SetNetDelay(0) })
+	}
+	for _, bc := range in.sched.BlockCorrupt {
+		bc := bc
+		loop.At(bc.At, func() {
+			var corrupted bool
+			if bc.Checkpoint {
+				corrupted = sys.CorruptCheckpointBlock(bc.Pick)
 			} else {
-				in.stats.MissedDrops++
+				corrupted = sys.CorruptShuffleBlock(bc.Pick)
 			}
+			in.bump(func(s *Stats) {
+				if corrupted {
+					s.BlocksCorrupted++
+				} else {
+					s.MissedDrops++
+				}
+			})
 		})
 	}
 }
@@ -181,12 +305,35 @@ func (in *Injector) StorageOp(op string) error {
 	if in.sched.StorageErrorProb <= 0 {
 		return nil
 	}
-	in.stats.StorageRolls++
-	if in.rng.Float64() < in.sched.StorageErrorProb {
-		in.stats.StorageErrors++
+	hit := in.rng.Float64() < in.sched.StorageErrorProb
+	in.bump(func(s *Stats) {
+		s.StorageRolls++
+		if hit {
+			s.StorageErrors++
+		}
+	})
+	if hit {
 		return fmt.Errorf("%w: %s", ErrInjected, op)
 	}
 	return nil
+}
+
+// MessageOp rolls the message-drop probability for one control-plane
+// message, reporting whether it is lost. The engine installs it as the
+// network's fault hook.
+func (in *Injector) MessageOp(kind string) bool {
+	if in.sched.MsgDropProb <= 0 {
+		return false
+	}
+	hit := in.msgRNG.Float64() < in.sched.MsgDropProb
+	in.bump(func(s *Stats) {
+		s.MsgRolls++
+		if hit {
+			s.MsgDrops++
+		}
+	})
+	_ = kind
+	return hit
 }
 
 // RandomSchedule derives a randomized but fully deterministic fault plan
@@ -240,6 +387,105 @@ func RandomSchedule(seed int64, horizon time.Duration, executors int) Schedule {
 	probs := []float64{0, 0.01, 0.02, 0.04}
 	s.StorageErrorProb = probs[rng.Intn(len(probs))]
 	return s
+}
+
+// WithNetFaults returns a copy of the schedule extended with randomized
+// network-model faults derived from the same seed on an independent RNG
+// stream (so the base schedule's draws — pinned by tests — are untouched):
+// one or two bidirectional partition windows whose durations straddle the
+// driver's suspicion and death timeouts, a per-message drop probability, at
+// most one delayed-heartbeat window, and up to two corrupted persisted
+// blocks. Partitions never target executor 0, matching RandomSchedule's
+// crash rule, so the cluster keeps a reachable executor.
+func (s Schedule) WithNetFaults(seed int64, horizon time.Duration, executors int) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed ^ 0x7e7)))
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	at := func(loFrac, hiFrac float64) time.Duration {
+		f := loFrac + rng.Float64()*(hiFrac-loFrac)
+		return time.Duration(f * float64(horizon))
+	}
+	if executors >= 2 {
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			s.Partitions = append(s.Partitions, Partition{
+				At: at(0.05, 0.7),
+				// 100ms..1.2s: short windows exercise suspect-then-clear,
+				// long ones dead-declaration followed by rejoin.
+				For:      100*time.Millisecond + time.Duration(rng.Int63n(int64(1100*time.Millisecond))),
+				Executor: 1 + rng.Intn(executors-1),
+			})
+		}
+	}
+	probs := []float64{0, 0.02, 0.05, 0.1}
+	s.MsgDropProb = probs[rng.Intn(len(probs))]
+	if rng.Intn(2) == 0 {
+		s.NetDelays = append(s.NetDelays, NetDelay{
+			At:    at(0.1, 0.6),
+			For:   time.Duration(float64(horizon) * (0.1 + 0.2*rng.Float64())),
+			Extra: 20*time.Millisecond + time.Duration(rng.Int63n(int64(280*time.Millisecond))),
+		})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.BlockCorrupt = append(s.BlockCorrupt, BlockCorrupt{
+			At:         at(0.1, 0.9),
+			Checkpoint: rng.Intn(2) == 0,
+			Pick:       rng.Intn(1 << 16),
+		})
+	}
+	return s
+}
+
+// Describe renders the armed fault plan as one line per scheduled event,
+// sorted by virtual time (probabilistic knobs follow at the end) — the
+// output of starkbench's -dump-faults flag.
+func (s Schedule) Describe() []string {
+	type ev struct {
+		at   time.Duration
+		line string
+	}
+	var evs []ev
+	add := func(at time.Duration, format string, args ...any) {
+		evs = append(evs, ev{at, fmt.Sprintf("%12v  %s", at, fmt.Sprintf(format, args...))})
+	}
+	for _, c := range s.Crashes {
+		add(c.At, "crash        exec=%d restartAfter=%v", c.Executor, c.RestartAfter)
+	}
+	for _, st := range s.Stragglers {
+		add(st.At, "straggle     exec=%d factor=%.2f for=%v", st.Executor, st.Factor, st.For)
+	}
+	for _, bl := range s.BlockLoss {
+		kind := "shuffle"
+		if bl.Checkpoint {
+			kind = "checkpoint"
+		}
+		add(bl.At, "block-loss   %s pick=%d", kind, bl.Pick)
+	}
+	for _, p := range s.Partitions {
+		add(p.At, "partition    exec=%d heal=+%v", p.Executor, p.For)
+	}
+	for _, d := range s.NetDelays {
+		add(d.At, "net-delay    extra=%v for=%v", d.Extra, d.For)
+	}
+	for _, bc := range s.BlockCorrupt {
+		kind := "shuffle"
+		if bc.Checkpoint {
+			kind = "checkpoint"
+		}
+		add(bc.At, "block-corrupt %s pick=%d", kind, bc.Pick)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	out := make([]string, 0, len(evs)+2)
+	for _, e := range evs {
+		out = append(out, e.line)
+	}
+	if s.StorageErrorProb > 0 {
+		out = append(out, fmt.Sprintf("%12s  storage-error prob=%.3f", "-", s.StorageErrorProb))
+	}
+	if s.MsgDropProb > 0 {
+		out = append(out, fmt.Sprintf("%12s  msg-drop      prob=%.3f", "-", s.MsgDropProb))
+	}
+	return out
 }
 
 // mix scrambles a seed so adjacent chaos seeds produce unrelated schedules

@@ -31,6 +31,23 @@ func (r *recorder) DropCheckpointBlock(pick int) bool {
 	r.log = append(r.log, "drop-checkpoint")
 	return false
 }
+func (r *recorder) PartitionExecutor(id int) { r.log = append(r.log, "partition") }
+func (r *recorder) HealExecutor(id int)      { r.log = append(r.log, "heal") }
+func (r *recorder) SetNetDelay(extra time.Duration) {
+	if extra > 0 {
+		r.log = append(r.log, "delay")
+	} else {
+		r.log = append(r.log, "undelay")
+	}
+}
+func (r *recorder) CorruptShuffleBlock(pick int) bool {
+	r.log = append(r.log, "corrupt-shuffle")
+	return true
+}
+func (r *recorder) CorruptCheckpointBlock(pick int) bool {
+	r.log = append(r.log, "corrupt-checkpoint")
+	return true
+}
 
 func TestArmDeliversScheduleInOrder(t *testing.T) {
 	s := Schedule{
@@ -116,6 +133,88 @@ func TestRandomScheduleDeterministicAndSafe(t *testing.T) {
 	}
 	if reflect.DeepEqual(RandomSchedule(1, time.Second, 8), RandomSchedule(2, time.Second, 8)) {
 		t.Fatal("adjacent seeds produced identical schedules")
+	}
+}
+
+func TestArmDeliversNetworkFaults(t *testing.T) {
+	s := Schedule{
+		Partitions:   []Partition{{At: 10 * time.Millisecond, For: 30 * time.Millisecond, Executor: 2}},
+		NetDelays:    []NetDelay{{At: 5 * time.Millisecond, For: 10 * time.Millisecond, Extra: 20 * time.Millisecond}},
+		BlockCorrupt: []BlockCorrupt{{At: 20 * time.Millisecond, Checkpoint: true, Pick: 3}},
+	}
+	loop := vtime.NewLoop()
+	rec := &recorder{}
+	in := New(s)
+	in.Arm(loop, rec)
+	loop.Run()
+	want := []string{"delay", "partition", "undelay", "corrupt-checkpoint", "heal"}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("delivery order = %v, want %v", rec.log, want)
+	}
+	st := in.Stats()
+	if st.Partitions != 1 || st.Heals != 1 || st.DelayWindows != 1 || st.BlocksCorrupted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWithNetFaultsDeterministicAndSafe(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		base := RandomSchedule(seed, 2*time.Second, 8)
+		a := base.WithNetFaults(seed, 2*time.Second, 8)
+		b := base.WithNetFaults(seed, 2*time.Second, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: extended schedules differ", seed)
+		}
+		// The base draws must be untouched so schedules pinned by earlier
+		// tests replay identically whether or not net faults are layered on.
+		if !reflect.DeepEqual(a.Crashes, base.Crashes) || a.StorageErrorProb != base.StorageErrorProb {
+			t.Fatalf("seed %d: WithNetFaults perturbed the base schedule", seed)
+		}
+		if len(a.Partitions) == 0 {
+			t.Fatalf("seed %d: no partitions generated on an 8-executor cluster", seed)
+		}
+		for _, p := range a.Partitions {
+			if p.Executor == 0 {
+				t.Fatalf("seed %d: partition targets executor 0", seed)
+			}
+			if p.For <= 0 {
+				t.Fatalf("seed %d: partition never heals", seed)
+			}
+		}
+	}
+}
+
+func TestMessageOpDeterministicAndIndependentOfStorageRolls(t *testing.T) {
+	roll := func() ([]bool, []bool) {
+		in := New(Schedule{Seed: 11, StorageErrorProb: 0.3, MsgDropProb: 0.3})
+		msgs := make([]bool, 100)
+		stores := make([]bool, 100)
+		for i := range msgs {
+			msgs[i] = in.MessageOp("heartbeat")
+			stores[i] = in.StorageOp("shuffle-read") != nil
+		}
+		return msgs, stores
+	}
+	m1, s1 := roll()
+	m2, s2 := roll()
+	if !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different roll sequences")
+	}
+	// Storage rolls must match a run that never consults MessageOp.
+	in := New(Schedule{Seed: 11, StorageErrorProb: 0.3, MsgDropProb: 0.3})
+	for i := 0; i < 100; i++ {
+		if got := in.StorageOp("shuffle-read") != nil; got != s1[i] {
+			t.Fatalf("storage roll %d perturbed by interleaved message rolls", i)
+		}
+	}
+}
+
+func TestDescribeListsEveryEvent(t *testing.T) {
+	s := RandomSchedule(5, time.Second, 8).WithNetFaults(5, time.Second, 8)
+	lines := s.Describe()
+	min := s.Events()
+	if len(lines) < min {
+		t.Fatalf("Describe returned %d lines for %d events", len(lines), min)
 	}
 }
 

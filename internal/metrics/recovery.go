@@ -24,19 +24,48 @@ type RecoveryMetrics struct {
 
 	CheckpointDeferrals int `json:"checkpoint_deferrals"`
 
+	// Failure-detection counters (heartbeat mode): suspicion transitions,
+	// suspicions cleared by a late heartbeat (false positives), executors
+	// declared dead on a missed-heartbeat timeout, executors that rejoined
+	// after a declaration, and results/registrations rejected because they
+	// carried a stale executor epoch.
+	Suspicions           int `json:"suspicions"`
+	SuspicionsCleared    int `json:"suspicions_cleared"`
+	DeadDeclarations     int `json:"dead_declarations"`
+	Rejoins              int `json:"rejoins"`
+	StaleEpochRejections int `json:"stale_epoch_rejections"`
+
+	// CorruptBlocks counts persisted blocks whose checksum verification
+	// failed on read; each was evicted and recomputed through lineage.
+	CorruptBlocks int `json:"corrupt_blocks"`
+
 	RecoveryDelays []time.Duration `json:"recovery_delays_ns"`
+	// DetectionDelays records, per dead declaration, the virtual time from
+	// the executor's last heard heartbeat to the declaration — the detection
+	// component already included in the corresponding RecoveryDelays entry.
+	DetectionDelays []time.Duration `json:"detection_delays_ns"`
 }
 
 // MaxRecoveryDelay reports the largest measured recovery delay; 0 when no
-// failure disrupted running tasks.
+// failure disrupted running tasks. In heartbeat mode the measurement starts
+// at the failed executor's last heard heartbeat, so detection latency is
+// part of the delay.
 func (r RecoveryMetrics) MaxRecoveryDelay() time.Duration {
 	return Max(r.RecoveryDelays)
 }
 
+// MaxDetectionDelay reports the largest measured failure-detection delay; 0
+// when nothing was declared dead.
+func (r RecoveryMetrics) MaxDetectionDelay() time.Duration {
+	return Max(r.DetectionDelays)
+}
+
 // String renders a one-line summary.
 func (r RecoveryMetrics) String() string {
-	return fmt.Sprintf("failures=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d maxRecovery=%v",
+	return fmt.Sprintf("failures=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d suspect=%d dead=%d rejoin=%d staleEpoch=%d corrupt=%d maxDetect=%v maxRecovery=%v",
 		r.TaskFailures, r.TaskRetries, r.FetchFailures, r.StageResubmissions,
 		r.SpeculativeWins, r.SpeculativeLaunches, r.ExecutorBlacklists,
+		r.Suspicions, r.DeadDeclarations, r.Rejoins, r.StaleEpochRejections, r.CorruptBlocks,
+		r.MaxDetectionDelay().Round(time.Millisecond),
 		r.MaxRecoveryDelay().Round(time.Millisecond))
 }

@@ -1,0 +1,210 @@
+// Package net simulates the control-plane transport between the driver and
+// the executors: task launches, task results, and heartbeats all cross a
+// Network before they take effect. (Block-fetch acknowledgements ride inside
+// task results in this model — the data plane charges transfer time through
+// the cost model, the control plane decides *whether* the driver learns of
+// it.) The network runs on the virtual clock and is seed-deterministic:
+// delay jitter and message drops come from a private RNG, partitions are
+// explicit state flipped by the fault injector, so two runs with equal seeds
+// see byte-identical delivery orders.
+//
+// The zero-value Config is the "perfect" network: no delay, no jitter, no
+// drops. A perfect, partition-free send delivers synchronously in the same
+// loop event as the sender, which keeps zero-config engine behaviour
+// byte-identical to an engine without a transport layer at all.
+package net
+
+import (
+	"math/rand"
+	"time"
+
+	"stark/internal/vtime"
+)
+
+// Driver is the node id of the driver endpoint. Executor endpoints use
+// their executor ids (>= 0).
+const Driver = -1
+
+// Kind classifies a control-plane message.
+type Kind int
+
+// Message kinds.
+const (
+	TaskLaunch Kind = iota
+	TaskResult
+	Heartbeat
+)
+
+// String names the kind for traces and fault-hook dispatch.
+func (k Kind) String() string {
+	switch k {
+	case TaskLaunch:
+		return "task-launch"
+	case TaskResult:
+		return "task-result"
+	case Heartbeat:
+		return "heartbeat"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// BaseDelay is the one-way latency of every control message; Jitter
+	// adds a uniform random extra in [0, Jitter).
+	BaseDelay time.Duration
+	Jitter    time.Duration
+	// DropProb is the per-attempt probability that a message is lost in
+	// flight (independent of partitions).
+	DropProb float64
+	// RetransmitTimeout is the initial retransmission timeout for reliable
+	// messages; it doubles per attempt. Zero derives a default from
+	// BaseDelay and Jitter.
+	RetransmitTimeout time.Duration
+	// MaxRetransmits bounds retransmission attempts of a reliable message;
+	// zero defaults to 12, enough doubling RTOs to ride out any partition
+	// the chaos schedules generate.
+	MaxRetransmits int
+	// Seed drives jitter and drop rolls; zero is replaced by 1.
+	Seed int64
+}
+
+// Perfect reports whether the configuration delivers instantly and
+// losslessly (partitions may still block traffic).
+func (c Config) Perfect() bool {
+	return c.BaseDelay == 0 && c.Jitter == 0 && c.DropProb == 0
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	Sent           int // send attempts, including retransmissions
+	Delivered      int
+	Dropped        int // random (DropProb or fault-hook) losses
+	PartitionDrops int // losses because an endpoint was partitioned
+	Retransmits    int
+	Expired        int // reliable messages abandoned after MaxRetransmits
+}
+
+// Network is the simulated transport. It is driven entirely from the
+// single-threaded event loop and is not safe for concurrent use.
+type Network struct {
+	cfg  Config
+	loop *vtime.Loop
+	rng  *rand.Rand
+	// part holds the executors currently partitioned from the driver
+	// (bidirectionally: traffic both ways is blocked).
+	part map[int]bool
+	// extra is a fault-injected delay added to every delivered message
+	// (delayed-heartbeat windows).
+	extra time.Duration
+	// hook, when set, may drop a message attempt (fault injection); it is
+	// consulted before the config's DropProb roll.
+	hook  func(Kind) bool
+	stats Stats
+}
+
+// New builds a network on the loop. A nil-safe zero Config yields a perfect
+// network.
+func New(cfg Config, loop *vtime.Loop) *Network {
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 2*(cfg.BaseDelay+cfg.Jitter) + time.Millisecond
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = 12
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:  cfg,
+		loop: loop,
+		rng:  rand.New(rand.NewSource(seed)),
+		part: make(map[int]bool),
+	}
+}
+
+// Config returns the normalized configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns the transport counters so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetFaultHook installs (or, with nil, removes) the injector's per-message
+// drop hook.
+func (n *Network) SetFaultHook(h func(Kind) bool) { n.hook = h }
+
+// Partition cuts an executor off from the driver in both directions; new
+// sends touching it are lost until Heal.
+func (n *Network) Partition(exec int) { n.part[exec] = true }
+
+// Heal reconnects a partitioned executor.
+func (n *Network) Heal(exec int) { delete(n.part, exec) }
+
+// Partitioned reports whether an executor is currently cut off.
+func (n *Network) Partitioned(exec int) bool { return n.part[exec] }
+
+// SetExtraDelay adds d to every subsequent delivery (0 restores normal
+// latency) — the delayed-heartbeat fault window.
+func (n *Network) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.extra = d
+}
+
+// Send transmits one control message from node `from` to node `to` and
+// invokes deliver when (and if) it arrives. Reliable messages retransmit
+// with doubling timeouts while lost; unreliable ones are fire-and-forget.
+// A perfect, unpartitioned, undelayed send delivers synchronously, so the
+// zero-config network is invisible to the event order.
+func (n *Network) Send(from, to int, kind Kind, reliable bool, deliver func()) {
+	n.send(from, to, kind, reliable, 0, deliver)
+}
+
+func (n *Network) send(from, to int, kind Kind, reliable bool, attempt int, deliver func()) {
+	n.stats.Sent++
+	blocked := (from >= 0 && n.part[from]) || (to >= 0 && n.part[to])
+	dropped := blocked
+	if !dropped && n.hook != nil && n.hook(kind) {
+		dropped = true
+	}
+	// Skip the RNG entirely when no probabilistic faults are configured so
+	// the draw sequence — and with it determinism across configurations —
+	// only depends on features actually in use.
+	if !dropped && n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		dropped = true
+	}
+	if dropped {
+		if blocked {
+			n.stats.PartitionDrops++
+		} else {
+			n.stats.Dropped++
+		}
+		if !reliable {
+			return
+		}
+		if attempt >= n.cfg.MaxRetransmits {
+			n.stats.Expired++
+			return
+		}
+		shift := uint(attempt)
+		if shift > 16 {
+			shift = 16
+		}
+		rto := n.cfg.RetransmitTimeout << shift
+		n.stats.Retransmits++
+		n.loop.After(rto, func() { n.send(from, to, kind, reliable, attempt+1, deliver) })
+		return
+	}
+	d := n.cfg.BaseDelay + n.extra
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	n.stats.Delivered++
+	if d <= 0 {
+		deliver()
+		return
+	}
+	n.loop.After(d, deliver)
+}

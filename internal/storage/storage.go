@@ -7,16 +7,67 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"stark/internal/record"
 )
 
+// ErrCorrupt marks a persisted block whose stored checksum no longer
+// matches its contents. Readers must treat it like a missing block and take
+// the lineage-recompute path, never return the bytes.
+var ErrCorrupt = errors.New("storage: block checksum mismatch")
+
+// CorruptError identifies the corrupt block so the engine can evict it
+// before recomputing. It unwraps to ErrCorrupt.
+type CorruptError struct {
+	Checkpoint bool
+	// Shuffle/MapPart locate a shuffle block (when !Checkpoint);
+	// RDD/Part locate a checkpoint block.
+	Shuffle, MapPart int
+	RDD, Part        int
+}
+
+func (e *CorruptError) Error() string {
+	if e.Checkpoint {
+		return fmt.Sprintf("storage: checkpoint rdd %d partition %d checksum mismatch", e.RDD, e.Part)
+	}
+	return fmt.Sprintf("storage: shuffle %d map output %d checksum mismatch", e.Shuffle, e.MapPart)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
 // Bucket is one (map partition → reduce partition) shuffle output file.
+// The store stamps a content checksum at write time (sum); reads verify it,
+// so a corrupted persisted block surfaces as an integrity error instead of
+// silently wrong bytes.
 type Bucket struct {
 	Data  []record.Record
 	Bytes int64
+
+	sum uint64
+}
+
+// sumRecords computes the cheap integrity checksum stored with a persisted
+// block: FNV-64a over the record keys plus the record count. It exists to
+// catch *injected* corruption deterministically, not to survive adversarial
+// collisions, so hashing values is deliberately skipped (values are
+// arbitrary `any` and hashing them would dominate hot read paths).
+func sumRecords(data []record.Record) uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	for _, r := range data {
+		h.Write([]byte(r.Key))
+		h.Write([]byte{0xff})
+	}
+	cnt := uint64(len(data))
+	for i := 0; i < 8; i++ {
+		n[i] = byte(cnt >> (8 * i))
+	}
+	h.Write(n[:])
+	return h.Sum64()
 }
 
 type shuffleState struct {
@@ -136,6 +187,7 @@ func (s *Store) WriteMapOutput(id, mapPart int, buckets map[int]Bucket) error {
 		if r < 0 || r >= st.numReduces {
 			return fmt.Errorf("storage: shuffle %d reduce partition %d out of range [0,%d)", id, r, st.numReduces)
 		}
+		b.sum = sumRecords(b.Data)
 		cp[r] = b
 	}
 	if _, overwrite := st.outputs[mapPart]; overwrite {
@@ -204,6 +256,9 @@ func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
 	var out []record.Record
 	var bytes int64
 	for _, rb := range st.byReduce[reducePart] {
+		if rb.b.sum != sumRecords(rb.b.Data) {
+			return nil, 0, &CorruptError{Shuffle: id, MapPart: rb.mapPart}
+		}
 		out = append(out, rb.b.Data...)
 		bytes += rb.b.Bytes
 	}
@@ -220,7 +275,7 @@ func (s *Store) WriteCheckpoint(rdd, part int, data []record.Record, bytes int64
 	if old, ok := s.checkpoints[k]; ok {
 		s.cpBytes -= old.Bytes
 	}
-	s.checkpoints[k] = Bucket{Data: data, Bytes: bytes}
+	s.checkpoints[k] = Bucket{Data: data, Bytes: bytes, sum: sumRecords(data)}
 	s.cpBytes += bytes
 	return nil
 }
@@ -239,6 +294,9 @@ func (s *Store) ReadCheckpoint(rdd, part int) ([]record.Record, int64, error) {
 	b, ok := s.checkpoints[checkpointKey{rdd: rdd, part: part}]
 	if !ok {
 		return nil, 0, fmt.Errorf("storage: no checkpoint for rdd %d partition %d", rdd, part)
+	}
+	if b.sum != sumRecords(b.Data) {
+		return nil, 0, &CorruptError{Checkpoint: true, RDD: rdd, Part: part}
 	}
 	return b.Data, b.Bytes, nil
 }
@@ -313,6 +371,43 @@ func (s *Store) CheckpointBlocks() [][2]int {
 		return out[i][1] < out[j][1]
 	})
 	return out
+}
+
+// CorruptMapOutput flips the stored checksum of one committed map output
+// (simulated bit rot of a persisted shuffle block); the next ReadReduce
+// touching it fails with a CorruptError. It reports whether the output
+// existed. A later overwrite (recomputed map task) restores integrity.
+func (s *Store) CorruptMapOutput(id, mapPart int) bool {
+	st, ok := s.shuffles[id]
+	if !ok {
+		return false
+	}
+	buckets, done := st.outputs[mapPart]
+	if !done {
+		return false
+	}
+	for r, b := range buckets {
+		b.sum ^= 0xdeadbeef
+		buckets[r] = b
+	}
+	// The byReduce index holds bucket copies; force a rebuild so readers see
+	// the corrupted sums.
+	st.dirty = true
+	return true
+}
+
+// CorruptCheckpoint flips the stored checksum of one checkpoint block; the
+// next ReadCheckpoint fails with a CorruptError until the partition is
+// re-checkpointed. It reports whether the checkpoint existed.
+func (s *Store) CorruptCheckpoint(rdd, part int) bool {
+	k := checkpointKey{rdd: rdd, part: part}
+	b, ok := s.checkpoints[k]
+	if !ok {
+		return false
+	}
+	b.sum ^= 0xdeadbeef
+	s.checkpoints[k] = b
+	return true
 }
 
 // DropCheckpoints discards all checkpoints of an RDD, subtracting their

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"testing"
 
 	"stark/internal/record"
@@ -118,6 +119,70 @@ func TestCheckpoints(t *testing.T) {
 	s.DropCheckpoints(1)
 	if s.TotalCheckpointBytes() != 0 || s.HasCheckpoint(1, 0) {
 		t.Fatal("drop failed")
+	}
+}
+
+func TestCorruptMapOutputDetectedAndHealedByOverwrite(t *testing.T) {
+	s := NewStore()
+	if err := s.RegisterShuffle(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	write := func(mapPart int) {
+		if err := s.WriteMapOutput(1, mapPart, map[int]Bucket{
+			0: {Data: []record.Record{record.Pair("a", mapPart)}, Bytes: 10},
+			1: {Data: []record.Record{record.Pair("b", mapPart)}, Bytes: 10},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0)
+	write(1)
+	if !s.CorruptMapOutput(1, 1) {
+		t.Fatal("corrupt reported no block")
+	}
+	if s.CorruptMapOutput(2, 0) || s.CorruptMapOutput(1, 5) {
+		t.Fatal("corrupting a nonexistent block reported success")
+	}
+	_, _, err := s.ReadReduce(1, 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read of corrupt shuffle block: err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Checkpoint || ce.Shuffle != 1 || ce.MapPart != 1 {
+		t.Fatalf("corrupt error coordinates = %+v", ce)
+	}
+	// A recomputed map task overwrites the block and restores integrity.
+	write(1)
+	if _, _, err := s.ReadReduce(1, 0); err != nil {
+		t.Fatalf("read after overwrite: %v", err)
+	}
+}
+
+func TestCorruptCheckpointDetected(t *testing.T) {
+	s := NewStore()
+	s.WriteCheckpoint(3, 0, []record.Record{record.Pair("k", 1)}, 100)
+	if !s.CorruptCheckpoint(3, 0) {
+		t.Fatal("corrupt reported no block")
+	}
+	if s.CorruptCheckpoint(3, 9) {
+		t.Fatal("corrupting a nonexistent checkpoint reported success")
+	}
+	_, _, err := s.ReadCheckpoint(3, 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !ce.Checkpoint || ce.RDD != 3 || ce.Part != 0 {
+		t.Fatalf("corrupt error coordinates = %+v", ce)
+	}
+	// HasCheckpoint still reports presence — detection happens on read.
+	if !s.HasCheckpoint(3, 0) {
+		t.Fatal("corrupt checkpoint vanished before read")
+	}
+	// Rewriting the checkpoint restores integrity.
+	s.WriteCheckpoint(3, 0, []record.Record{record.Pair("k", 1)}, 100)
+	if _, _, err := s.ReadCheckpoint(3, 0); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
 	}
 }
 

@@ -1,0 +1,71 @@
+package stark_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stark"
+)
+
+// TestConcurrentStatsAccess drives a faulted workload — crashes, restarts,
+// partitions, message drops, corrupt blocks — while a second goroutine
+// polls the exported stats accessors the whole time. Run under -race this
+// verifies that RecoveryStats, Blacklisted, and FaultStats are safe to call
+// from monitoring goroutines while the simulation loop mutates the counters
+// they read. (NetworkStats is deliberately absent: it is documented as
+// loop-goroutine-only.)
+func TestConcurrentStatsAccess(t *testing.T) {
+	// The fault-free workload's virtual makespan is ~60ms, so the horizon
+	// and heartbeat timeouts are scaled to land faults mid-run.
+	const horizon = 50 * time.Millisecond
+	sched := stark.RandomFaultSchedule(11, horizon, 4).
+		WithNetFaults(11, horizon, 4)
+	ctx := stark.NewContext(
+		stark.WithExecutors(4),
+		stark.WithSeed(3),
+		stark.WithNetwork(stark.NetworkConfig{
+			BaseDelay: 200 * time.Microsecond,
+			Jitter:    300 * time.Microsecond,
+		}),
+		stark.WithHeartbeat(2*time.Millisecond, 6*time.Millisecond, 15*time.Millisecond),
+		stark.WithFaults(sched),
+	)
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			_ = ctx.RecoveryStats()
+			_ = ctx.Blacklisted()
+			_ = ctx.FaultStats()
+		}
+	}()
+
+	recs := make([]stark.Record, 4000)
+	for i := range recs {
+		recs[i] = stark.Pair(fmt.Sprintf("k%04d", i%97), i)
+	}
+	p := stark.NewHashPartitioner(12)
+	sums := ctx.TextFile("events", recs, 12).
+		ReduceByKey(p, func(a, b any) any { return a.(int) + b.(int) }).
+		Cache()
+	for step := 0; step < 4; step++ {
+		n, _, err := sums.Count()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if n != 97 {
+			t.Fatalf("step %d: count = %d, want 97", step, n)
+		}
+	}
+
+	stop.Store(true)
+	<-done
+	rec := ctx.RecoveryStats()
+	if rec.TaskFailures == 0 && rec.DeadDeclarations == 0 && rec.Suspicions == 0 {
+		t.Fatal("fault schedule exercised no recovery machinery; the race coverage is vacuous")
+	}
+}
