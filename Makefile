@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos chaos-nightly bench examples experiments clean
+.PHONY: all build vet test test-short test-race chaos chaos-nightly bench bench-json bench-engine examples experiments clean
 
 all: build vet test
 
@@ -29,6 +29,16 @@ chaos-nightly:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Engine/record hot-path benchmarks (GroupByKeySorted, bucketing, the
+# parallel data plane's 1-vs-4 worker pair).
+bench-engine:
+	$(GO) test -bench=. -benchmem -benchtime=3x ./internal/engine/ ./internal/record/
+
+# Machine-readable parallel-data-plane measurements (wall-clock speedup,
+# virtual-time identity, allocation micros) -> BENCH_3.json.
+bench-json:
+	$(GO) run ./cmd/starkbench -bench-json BENCH_3.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -38,6 +38,29 @@ var (
 	dumpFaults bool
 )
 
+// runBenchJSON runs the deterministic-parallel-data-plane benchmark suite
+// and writes the machine-readable document (see BENCH_3.json) to path.
+func runBenchJSON(path string, quick bool, cores int) error {
+	r, err := experiments.RunBench(experiments.BenchConfig{Quick: quick, Cores: cores})
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func experimentsList() []experiment {
 	return []experiment{
 		{"fig1", "data locality benefits (C/D/D- bars)", func(bool) error {
@@ -217,17 +240,27 @@ func experimentsList() []experiment {
 
 func main() {
 	var (
-		name  = flag.String("experiment", "", "experiment to run (fig1, fig7, ... or 'all')")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
-		list  = flag.Bool("list", false, "list available experiments")
-		tsv   = flag.Bool("tsv", false, "emit machine-readable TSV where the figure has series data")
-		night = flag.Bool("nightly", false, "deepen the chaos sweep (scheduled CI profile)")
-		dumpF = flag.Bool("dump-faults", false, "print each chaos seed's armed fault schedule before it runs")
+		name      = flag.String("experiment", "", "experiment to run (fig1, fig7, ... or 'all')")
+		quick     = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		list      = flag.Bool("list", false, "list available experiments")
+		tsv       = flag.Bool("tsv", false, "emit machine-readable TSV where the figure has series data")
+		night     = flag.Bool("nightly", false, "deepen the chaos sweep (scheduled CI profile)")
+		dumpF     = flag.Bool("dump-faults", false, "print each chaos seed's armed fault schedule before it runs")
+		benchJSON = flag.String("bench-json", "",
+			"measure the parallel data plane (wall-clock 1-vs-N arms, hot-path micros) and write JSON to this path")
+		benchCores = flag.Int("bench-cores", 4, "worker-pool size of the parallel bench arm")
 	)
 	flag.Parse()
 	tsvOut = *tsv
 	nightly = *night
 	dumpFaults = *dumpF
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *quick, *benchCores); err != nil {
+			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exps := experimentsList()
 	if *list || *name == "" {
 		fmt.Println("experiments:")

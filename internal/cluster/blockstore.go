@@ -79,6 +79,18 @@ func (s *BlockStore) Get(id BlockID) ([]record.Record, bool) {
 	return e.data, true
 }
 
+// Peek returns the cached data without touching LRU order. The parallel
+// data plane reads through Peek so concurrent lookups never mutate the
+// store; recency updates are replayed later, in deterministic dispatch
+// order, via Get.
+func (s *BlockStore) Peek(id BlockID) ([]record.Record, bool) {
+	e, ok := s.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	return e.data, true
+}
+
 // BytesOf reports the cached size of a block.
 func (s *BlockStore) BytesOf(id BlockID) (int64, bool) {
 	e, ok := s.blocks[id]

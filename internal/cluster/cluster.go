@@ -156,6 +156,16 @@ func (c *Cluster) CacheGet(exec int, id BlockID) ([]record.Record, bool) {
 	return e.Store.Get(id)
 }
 
+// CachePeek reads a block from one executor's cache without touching LRU
+// order; see BlockStore.Peek.
+func (c *Cluster) CachePeek(exec int, id BlockID) ([]record.Record, bool) {
+	e := c.executors[exec]
+	if e.dead {
+		return nil, false
+	}
+	return e.Store.Peek(id)
+}
+
 // CacheHas reports whether an executor holds a block.
 func (c *Cluster) CacheHas(exec int, id BlockID) bool {
 	e := c.executors[exec]

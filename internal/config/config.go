@@ -94,6 +94,22 @@ func Default() Cluster {
 	}
 }
 
+// Execution configures the wall-clock data plane: how many OS-level worker
+// goroutines execute task compute (transformations, shuffle bucketing,
+// integrity checks) between virtual-time events. Parallelism never affects
+// simulation results — the control plane stays single-threaded and joins
+// data-plane results back in dispatch order, so runs are bit-identical at
+// any setting. It only changes how much wall-clock time a run takes.
+type Execution struct {
+	// Parallelism bounds the data-plane worker pool. 1 executes task
+	// compute sequentially on the event-loop goroutine; 0 (the default)
+	// uses runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// DefaultExecution sizes the worker pool to GOMAXPROCS.
+func DefaultExecution() Execution { return Execution{Parallelism: 0} }
+
 // Recovery configures the engine's failure-handling policy: bounded task
 // retry with virtual-time backoff, executor blacklisting after repeated
 // failures, and speculative re-execution of stragglers.

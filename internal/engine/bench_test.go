@@ -29,10 +29,22 @@ func BenchmarkEngineJob(b *testing.B) {
 // BenchmarkEngine100kTasks pins the scheduler's fast path: a 20k-partition
 // shuffle (40k tasks) must stay near linear.
 func BenchmarkEngine100kTasks(b *testing.B) {
+	benchmark100kTasks(b, 1)
+}
+
+// BenchmarkEngine100kTasksParallel runs the same workload with a 4-worker
+// data plane; results and virtual time are identical, only wall clock moves
+// (see plane.go). Compare against BenchmarkEngine100kTasks for the speedup.
+func BenchmarkEngine100kTasksParallel(b *testing.B) {
+	benchmark100kTasks(b, 4)
+}
+
+func benchmark100kTasks(b *testing.B, par int) {
 	for i := 0; i < b.N; i++ {
 		cfg := testConfig()
 		cfg.Cluster.NumExecutors = 8
 		cfg.Cluster.SlotsPerExecutor = 4
+		cfg.Execution.Parallelism = par
 		e := New(cfg)
 		g := e.Graph()
 		src := g.Source("src", dataset(20000, 64), false)

@@ -58,8 +58,10 @@ func (e *Engine) ForceCheckpoint(r *rdd.RDD) {
 			e.deferCheckpoint(r)
 			return
 		}
-		acc := &costAcc{} // checkpoint IO runs on a background thread
-		data, err := e.materialize(r, p, exec, acc)
+		px := e.newPlaneCtx(exec) // checkpoint IO runs on a background thread
+		px.immediate = true
+		data, err := px.materialize(r, p)
+		releasePlaneCtx(px)
 		if err == nil {
 			cpBytes := int64(float64(r.PartBytes[p]) * ratio)
 			err = e.store.WriteCheckpoint(r.ID, p, data, cpBytes)

@@ -12,6 +12,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -88,6 +89,9 @@ type Config struct {
 	// Seed drives the scheduler's randomized remote offers; runs with equal
 	// seeds are bit-identical.
 	Seed int64
+	// Execution sizes the wall-clock data-plane worker pool; it never
+	// affects simulation results, only how fast they are produced.
+	Execution config.Execution
 }
 
 // DefaultConfig mirrors stock Spark: no Stark features enabled.
@@ -200,6 +204,13 @@ type Engine struct {
 	execEpoch     []int
 	incSeen       []int
 
+	// Data-plane batching (plane.go): tasks dispatched during an event
+	// accumulate in batch and execute at the event boundary on up to par
+	// workers; draining guards against re-entrant drains.
+	batch    []*batchEntry
+	draining bool
+	par      int
+
 	completed []metrics.JobMetrics
 	stats     Stats
 	rng       *rand.Rand
@@ -246,6 +257,11 @@ func New(cfg Config) *Engine {
 		wakeIndex:      make(map[cluster.BlockID][]*task),
 		rng:            rand.New(rand.NewSource(seed)),
 	}
+	e.par = cfg.Execution.Parallelism
+	if e.par <= 0 {
+		e.par = runtime.GOMAXPROCS(0)
+	}
+	e.loop.SetPostStep(e.drainBatch)
 	e.net = netsim.New(cfg.Network, e.loop)
 	e.hb = cfg.Heartbeat
 	n := e.cl.NumExecutors()
@@ -431,6 +447,10 @@ type task struct {
 	count     int64
 	collected map[int][]record.Record
 	mapOut    map[int]map[int]storage.Bucket
+	// collectedFP holds per-partition fingerprints taken when collect
+	// staging aliased the partition data (STARK_CHECK_COW=1 only); they are
+	// re-verified at result-accept to catch copy-on-write violations.
+	collectedFP map[int]uint64
 }
 
 // SubmitJob enqueues an action on final at the current virtual time; cb
@@ -460,6 +480,9 @@ func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) in
 		e.maybeStartStage(sr)
 	}
 	e.schedule()
+	// A submission from outside the event loop has no post-step boundary;
+	// drain the dispatched work now (no-op when called from inside an event).
+	e.drainBatch()
 	return j.id
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"stark/internal/cluster"
@@ -29,24 +30,26 @@ func (a *costAcc) ioTotal() time.Duration {
 	return a.shuffleRead + a.diskRead + a.diskWrite
 }
 
-// runTask executes the task's data plane on the chosen executor and returns
-// the modeled task duration. Cache mutations (including evictions) apply
-// immediately; the duration covers compute, IO, GC and fixed overhead. A
-// non-nil error marks the attempt failed (storage error or fetch failure);
-// the time already accumulated is still charged — a failed attempt is not
-// free.
-func (e *Engine) runTask(t *task, exec int) (time.Duration, error) {
-	acc := &costAcc{}
+// sliceOverheadBytes is the fixed footprint of an empty record slice, used
+// by the one-pass bucket-size accumulation to reproduce SizeOfSlice exactly.
+var sliceOverheadBytes = record.SizeOfSlice(nil)
+
+// runPlane executes one task's data plane against its plane context and
+// records the modeled task duration in px.dur. Side effects (cache puts,
+// LRU touches, stats, drops) buffer in px for the join. A non-nil px.err
+// marks the attempt failed (storage error or fetch failure); the time
+// already accumulated is still charged — a failed attempt is not free.
+func (e *Engine) runPlane(be *batchEntry) {
+	t, exec, px := be.t, be.exec, be.px
 	st := t.sr.st
-	var taskErr error
 	for _, p := range t.partitions {
-		data, err := e.materialize(st.Output, p, exec, acc)
+		data, err := px.materialize(st.Output, p)
 		if err != nil {
-			taskErr = err
+			px.err = err
 			break
 		}
 		if st.ShuffleMap {
-			e.bucketMapOutput(t, p, data, acc)
+			e.bucketMapOutput(t, p, data, px)
 			continue
 		}
 		switch t.sr.job.action {
@@ -56,63 +59,125 @@ func (e *Engine) runTask(t *task, exec int) (time.Duration, error) {
 			if t.collected == nil {
 				t.collected = make(map[int][]record.Record)
 			}
-			t.collected[p] = record.Clone(data)
+			// Copy-on-write: the staged slice aliases the computed (possibly
+			// cached) partition. Transforms are pure and the job result is
+			// read-only, so no consumer mutates it; STARK_CHECK_COW=1
+			// fingerprints the slice here and re-verifies at result-accept.
+			t.collected[p] = data
+			if record.CowCheckEnabled() {
+				if t.collectedFP == nil {
+					t.collectedFP = make(map[int]uint64)
+				}
+				t.collectedFP[p] = record.Fingerprint(data)
+			}
 		case ActionMaterialize:
 			// Materialization is its own reward.
 		}
 	}
 
 	// GC model: overhead grows with post-task memory pressure including the
-	// transient working set (paper Fig. 12's six-RDD effect).
+	// transient working set (paper Fig. 12's six-RDD effect). Deferred cache
+	// puts mean Used() reflects the batch's start-of-event state for every
+	// plane — the same state a sequential deferred run would read.
 	store := e.cl.Executor(exec).Store
 	pressure := 0.0
 	if store.Capacity() > 0 {
-		pressure = float64(store.Used()+acc.working) / float64(store.Capacity())
+		pressure = float64(store.Used()+px.acc.working) / float64(store.Capacity())
 	}
-	gc := time.Duration(float64(acc.compute) * e.cfg.Cluster.GC.Factor(pressure))
+	gc := time.Duration(float64(px.acc.compute) * e.cfg.Cluster.GC.Factor(pressure))
 
-	t.tm.Compute = acc.compute
+	t.tm.Compute = px.acc.compute
 	t.tm.GC = gc
-	t.tm.ShuffleRead = acc.shuffleRead
-	t.tm.DiskRead = acc.diskRead
-	t.tm.DiskWrite = acc.diskWrite
-	t.tm.BytesInput = acc.bytesInput
-	t.tm.BytesShuffle = acc.bytesShuffle
+	t.tm.ShuffleRead = px.acc.shuffleRead
+	t.tm.DiskRead = px.acc.diskRead
+	t.tm.DiskWrite = px.acc.diskWrite
+	t.tm.BytesInput = px.acc.bytesInput
+	t.tm.BytesShuffle = px.acc.bytesShuffle
 
 	overhead := e.cfg.Cluster.TaskOverhead
 	if t.group {
 		overhead += time.Duration(len(t.partitions)) * e.cfg.Cluster.GroupPartitionOverhead
 	}
-	return overhead + acc.compute + acc.ioTotal() + gc, taskErr
+	px.dur = overhead + px.acc.compute + px.acc.ioTotal() + gc
 }
+
+// bucketScratch holds the reusable dense bucketing arrays; the inner record
+// slices escape into storage.Bucket.Data, so only the outer arrays pool.
+type bucketScratch struct {
+	buckets [][]record.Record
+	bytes   []int64
+}
+
+var bucketScratchPool = sync.Pool{New: func() any { return new(bucketScratch) }}
 
 // bucketMapOutput buckets one computed map partition by the consumer's
 // partitioner and stages it on the task; the buckets register with the
 // shuffle service only when the driver accepts the task's result (see
 // commitMapOutputs), so an attempt whose executor epoch has moved on can
-// never install shuffle outputs.
-func (e *Engine) bucketMapOutput(t *task, p int, data []record.Record, acc *costAcc) {
+// never install shuffle outputs. Bucket sizes accumulate record-by-record
+// during the bucketing pass — one walk over the data instead of a second
+// SizeOfSlice pass, with identical totals.
+func (e *Engine) bucketMapOutput(t *task, p int, data []record.Record, px *planeCtx) {
 	st := t.sr.st
 	part := st.Consumer.Partitioner
-	buckets := make(map[int][]record.Record)
-	for _, rec := range data {
-		b := part.PartitionFor(rec.Key)
-		buckets[b] = append(buckets[b], rec)
-	}
-	out := make(map[int]storage.Bucket, len(buckets))
+	n := st.Consumer.Parts
+	out := make(map[int]storage.Bucket)
 	var total int64
-	for b, recs := range buckets {
-		bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(recs))
-		out[b] = storage.Bucket{Data: recs, Bytes: bytes}
-		total += bytes
+	if n > 4096 && n > 2*len(data) {
+		// Sparse: a dense bucket array would dwarf the data; group through a
+		// map instead.
+		type bk struct {
+			recs []record.Record
+			raw  int64
+		}
+		m := make(map[int]*bk, len(data))
+		for _, rec := range data {
+			b := part.PartitionFor(rec.Key)
+			g := m[b]
+			if g == nil {
+				g = &bk{}
+				m[b] = g
+			}
+			g.recs = append(g.recs, rec)
+			g.raw += record.SizeOfRecord(rec)
+		}
+		for b, g := range m {
+			bytes := e.cfg.Cluster.ScaleBytes(sliceOverheadBytes + g.raw)
+			out[b] = storage.Bucket{Data: g.recs, Bytes: bytes}
+			total += bytes
+		}
+	} else {
+		sc := bucketScratchPool.Get().(*bucketScratch)
+		if cap(sc.buckets) < n {
+			sc.buckets = make([][]record.Record, n)
+			sc.bytes = make([]int64, n)
+		}
+		buckets := sc.buckets[:n]
+		raw := sc.bytes[:n]
+		for _, rec := range data {
+			b := part.PartitionFor(rec.Key)
+			buckets[b] = append(buckets[b], rec)
+			raw[b] += record.SizeOfRecord(rec)
+		}
+		for b := 0; b < n; b++ {
+			if buckets[b] == nil {
+				continue
+			}
+			bytes := e.cfg.Cluster.ScaleBytes(sliceOverheadBytes + raw[b])
+			out[b] = storage.Bucket{Data: buckets[b], Bytes: bytes}
+			total += bytes
+			buckets[b] = nil
+			raw[b] = 0
+		}
+		bucketScratchPool.Put(sc)
 	}
 	if t.mapOut == nil {
 		t.mapOut = make(map[int]map[int]storage.Bucket)
 	}
 	t.mapOut[p] = out
 	// Bucketing is a cheap pass over the data; the write hits disk.
-	acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
-	acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
+	px.acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
+	px.acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
 }
 
 // commitMapOutputs writes a map task's staged buckets to persistent storage
@@ -136,24 +201,25 @@ func (e *Engine) commitMapOutputs(t *task) error {
 	return nil
 }
 
-// materialize produces partition p of r on the given executor, honoring the
-// engine's Spark-faithful semantics: only the local cache is consulted (a
-// partition cached on a *different* executor is recomputed, never fetched —
-// the amplification co-locality removes), checkpoints and shuffle outputs
+// materialize produces partition p of r on the context's executor, honoring
+// the engine's Spark-faithful semantics: only the local cache is consulted
+// (a partition cached on a *different* executor is recomputed, never fetched
+// — the amplification co-locality removes), checkpoints and shuffle outputs
 // are read from persistent storage, and everything else recurses through
 // narrow parents. Storage failures surface as ErrStorage; a shuffle read
-// against an incomplete shuffle (lost map outputs) surfaces as a
-// fetchError so the recovery plane resubmits the producing stage.
-func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]record.Record, error) {
+// against an incomplete shuffle (lost map outputs) surfaces as a fetchError
+// so the recovery plane resubmits the producing stage.
+func (px *planeCtx) materialize(r *rdd.RDD, p int) ([]record.Record, error) {
+	e := px.e
 	id := cluster.BlockID{RDD: r.ID, Partition: p}
-	if data, ok := e.cl.CacheGet(exec, id); ok {
-		e.stats.CacheHits++
+	if data, ok := px.cacheGet(id); ok {
+		px.cacheHit()
 		return data, nil
 	}
 	if r.CacheFlag {
 		// The block was requested from a cache-enabled RDD and missed: this
 		// is the recompute penalty the locality machinery exists to avoid.
-		e.stats.CacheMisses++
+		px.cacheMiss()
 	}
 	if r.Checkpointed && e.store.HasCheckpoint(r.ID, p) {
 		data, bytes, err := e.store.ReadCheckpoint(r.ID, p)
@@ -161,15 +227,13 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 			if errors.Is(err, storage.ErrCorrupt) {
 				// Integrity failure: evict the bad block so the retry attempt
 				// recomputes the partition through lineage.
-				e.store.DropCheckpoint(r.ID, p)
-				e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
-				e.trace("block-corrupt", -1, -1, -1, -1, fmt.Sprintf("checkpoint %s[%d]", r, p))
+				px.dropCorrupt(true, r.ID, p, fmt.Sprintf("checkpoint %s[%d]", r, p))
 			}
 			return nil, fmt.Errorf("%w: checkpoint read %s[%d]: %w", ErrStorage, r, p, err)
 		}
-		acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
-		acc.working += bytes
-		e.finishPartition(r, p, exec, data, acc)
+		px.acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
+		px.acc.working += bytes
+		px.finishPartition(r, p, data, -1)
 		return data, nil
 	}
 
@@ -182,12 +246,19 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 			panic(fmt.Sprintf("engine: source %s has no partition %d", r, p))
 		}
 		data = r.Source[p]
+		if record.CowCheckEnabled() && p < len(r.COWSums) {
+			if got := record.Fingerprint(data); got != r.COWSums[p] {
+				panic(fmt.Sprintf("engine: source %s[%d] mutated after graph construction (copy-on-write violation)", r, p))
+			}
+		}
 		bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
 		if r.SourceFromDisk {
-			acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
+			px.acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
 		}
-		acc.working += bytes
-		acc.bytesInput += bytes
+		px.acc.working += bytes
+		px.acc.bytesInput += bytes
+		px.finishPartition(r, p, data, bytes)
+		return data, nil
 	default:
 		inputs := make([][]record.Record, len(r.Deps))
 		var inputBytes int64
@@ -199,9 +270,7 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 					if errors.As(err, &ce) {
 						// Integrity failure on a map output: evict it and report
 						// a fetch failure so the producing stage resubmits.
-						e.store.DropMapOutput(ce.Shuffle, ce.MapPart)
-						e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
-						e.trace("block-corrupt", -1, -1, -1, -1,
+						px.dropCorrupt(false, ce.Shuffle, ce.MapPart,
 							fmt.Sprintf("shuffle=%d map=%d", ce.Shuffle, ce.MapPart))
 						return nil, &fetchError{shuffle: d.ShuffleID, err: err}
 					}
@@ -212,12 +281,12 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 				}
 				// Map outputs are spread across the cluster: all bytes come
 				// off disk, and on average (E-1)/E of them cross the network.
-				acc.shuffleRead += e.cfg.Cluster.DiskReadTime(bytes)
+				px.acc.shuffleRead += e.cfg.Cluster.DiskReadTime(bytes)
 				if n := e.cl.NumExecutors(); n > 1 {
 					remote := bytes * int64(n-1) / int64(n)
-					acc.shuffleRead += e.cfg.Cluster.NetTime(remote)
+					px.acc.shuffleRead += e.cfg.Cluster.NetTime(remote)
 				}
-				acc.bytesShuffle += bytes
+				px.acc.bytesShuffle += bytes
 				inputs[i] = recs
 				inputBytes += bytes
 			} else {
@@ -229,47 +298,41 @@ func (e *Engine) materialize(r *rdd.RDD, p int, exec int, acc *costAcc) ([]recor
 					}
 					pp = mapped
 				}
-				in, err := e.materialize(d.Parent, pp, exec, acc)
+				in, err := px.materialize(d.Parent, pp)
 				if err != nil {
 					return nil, err
 				}
 				inputs[i] = in
-				inputBytes += e.partBytes(d.Parent, pp)
+				inputBytes += px.partBytesOf(d.Parent, pp)
 			}
 		}
 		ct := e.cfg.Cluster.ComputeTime(inputBytes, r.CostFactor)
 		data = r.Transform(p, inputs)
-		acc.compute += ct
-		acc.bytesInput += inputBytes
-		if ct > r.MaxTransformTime {
-			r.MaxTransformTime = ct
-		}
+		px.acc.compute += ct
+		px.acc.bytesInput += inputBytes
+		px.noteTransformTime(r, ct)
 	}
-	e.finishPartition(r, p, exec, data, acc)
+	px.finishPartition(r, p, data, -1)
 	return data, nil
 }
 
 // finishPartition records the partition's size and caches it when requested.
-func (e *Engine) finishPartition(r *rdd.RDD, p, exec int, data []record.Record, acc *costAcc) {
-	bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
-	if r.PartBytes == nil {
-		r.PartBytes = make([]int64, r.Parts)
+// knownBytes short-circuits the size walk when the caller already computed
+// it; otherwise a previously recorded size is reused (transforms are pure,
+// so a recompute always reproduces the same bytes) and only never-measured
+// partitions pay the SizeOfSlice walk.
+func (px *planeCtx) finishPartition(r *rdd.RDD, p int, data []record.Record, knownBytes int64) {
+	bytes := knownBytes
+	if bytes < 0 {
+		if b := px.partBytesOf(r, p); b > 0 {
+			bytes = b
+		} else {
+			bytes = px.e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
+		}
 	}
-	r.PartBytes[p] = bytes
-	acc.working += bytes
+	px.setPartBytes(r, p, bytes)
+	px.acc.working += bytes
 	if r.CacheFlag {
-		id := cluster.BlockID{RDD: r.ID, Partition: p}
-		evicted := e.cl.CachePut(exec, id, data, bytes)
-		e.onEvictions(exec, evicted)
-		e.wakeTasks(id)
+		px.cachePut(cluster.BlockID{RDD: r.ID, Partition: p}, data, bytes)
 	}
-}
-
-// partBytes reads a recorded partition size, falling back to measuring the
-// source directly for never-recorded partitions.
-func (e *Engine) partBytes(r *rdd.RDD, p int) int64 {
-	if r.PartBytes != nil && p < len(r.PartBytes) {
-		return r.PartBytes[p]
-	}
-	return 0
 }

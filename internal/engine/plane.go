@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stark/internal/cluster"
+	"stark/internal/rdd"
+	"stark/internal/record"
+)
+
+// This file implements the engine's two-clock execution model. The control
+// plane — scheduling, fault handling, recovery, checkpoint decisions — stays
+// single-threaded on the virtual-time event loop. The data plane — the pure
+// per-partition compute inside a task (user transforms, shuffle bucketing,
+// integrity verification) — is deferred: execTask appends the task to a
+// batch instead of running it inline, and drainBatch runs the batch at the
+// event boundary, optionally on a worker pool, then joins results back into
+// the control plane in dispatch order.
+//
+// Determinism argument: planes touch no shared mutable state. Cache reads go
+// through a non-mutating Peek plus a per-plane overlay of the task's own
+// writes; cache puts, LRU touches, partition-size records, stats deltas,
+// block drops and traces are logged per plane and replayed by the join in
+// dispatch order, exactly as a sequential deferred run would apply them.
+// Virtual timestamps, task ordering and RNG draws therefore do not depend on
+// the worker-pool size: parallelism 1 and N are byte-identical.
+
+// batchEntry is one dispatched-but-not-yet-executed task.
+type batchEntry struct {
+	t    *task
+	exec int
+	px   *planeCtx
+	// panicked holds a panic value captured on a worker goroutine, rethrown
+	// at join time so plane panics (e.g. STARK_CHECK_COW violations) always
+	// surface on the event-loop goroutine where callers can recover them.
+	panicked any
+}
+
+// partKey addresses one partition-size overlay slot.
+type partKey struct {
+	r *rdd.RDD
+	p int
+}
+
+// cacheOp logs one deferred executor-cache operation in program order. Gets
+// are replayed purely for their LRU recency effect.
+type cacheOp struct {
+	put   bool
+	id    cluster.BlockID
+	data  []record.Record
+	bytes int64
+}
+
+// deferredDrop logs an integrity-failure eviction (corrupt checkpoint or map
+// output) discovered by the plane, applied and counted at join time.
+type deferredDrop struct {
+	checkpoint bool
+	a, b       int
+	detail     string
+}
+
+// planeCtx carries one task's data-plane state: the cost accumulator plus
+// buffered side effects. In immediate mode (ForceCheckpoint's synchronous
+// materialization) every effect applies straight through instead.
+type planeCtx struct {
+	e         *Engine
+	exec      int
+	immediate bool
+	acc       costAcc
+
+	// local overlays the executor cache with this task's own deferred puts,
+	// so a diamond-shaped narrow chain re-reading a partition it just cached
+	// hits, as it would inline.
+	local map[cluster.BlockID][]record.Record
+	ops   []cacheOp
+	drops []deferredDrop
+	// partBytes overlays rdd.PartBytes with this task's own measurements.
+	partBytes map[partKey]int64
+	// maxTT accumulates per-RDD max transform time for a deferred max-merge.
+	maxTT        map[*rdd.RDD]time.Duration
+	hits, misses int64
+
+	dur time.Duration
+	err error
+}
+
+var planeCtxPool = sync.Pool{New: func() any { return &planeCtx{} }}
+
+func (e *Engine) newPlaneCtx(exec int) *planeCtx {
+	px := planeCtxPool.Get().(*planeCtx)
+	px.e = e
+	px.exec = exec
+	return px
+}
+
+func releasePlaneCtx(px *planeCtx) {
+	for k := range px.local {
+		delete(px.local, k)
+	}
+	for k := range px.partBytes {
+		delete(px.partBytes, k)
+	}
+	for k := range px.maxTT {
+		delete(px.maxTT, k)
+	}
+	for i := range px.ops {
+		px.ops[i] = cacheOp{}
+	}
+	for i := range px.drops {
+		px.drops[i] = deferredDrop{}
+	}
+	*px = planeCtx{local: px.local, partBytes: px.partBytes, maxTT: px.maxTT,
+		ops: px.ops[:0], drops: px.drops[:0]}
+	planeCtxPool.Put(px)
+}
+
+// cacheGet reads a block from the task's executor cache. Deferred mode never
+// touches LRU order; the recency update replays at join.
+func (px *planeCtx) cacheGet(id cluster.BlockID) ([]record.Record, bool) {
+	if px.immediate {
+		return px.e.cl.CacheGet(px.exec, id)
+	}
+	if data, ok := px.local[id]; ok {
+		px.ops = append(px.ops, cacheOp{id: id})
+		return data, true
+	}
+	data, ok := px.e.cl.CachePeek(px.exec, id)
+	if ok {
+		px.ops = append(px.ops, cacheOp{id: id})
+	}
+	return data, ok
+}
+
+// cachePut stores a block in the task's executor cache; deferred mode logs
+// the put (evictions and task wake-ups happen at join).
+func (px *planeCtx) cachePut(id cluster.BlockID, data []record.Record, bytes int64) {
+	if px.immediate {
+		evicted := px.e.cl.CachePut(px.exec, id, data, bytes)
+		px.e.onEvictions(px.exec, evicted)
+		px.e.wakeTasks(id)
+		return
+	}
+	if px.local == nil {
+		px.local = make(map[cluster.BlockID][]record.Record)
+	}
+	px.local[id] = data
+	px.ops = append(px.ops, cacheOp{put: true, id: id, data: data, bytes: bytes})
+}
+
+// partBytesOf reads a recorded partition size through the overlay.
+func (px *planeCtx) partBytesOf(r *rdd.RDD, p int) int64 {
+	if !px.immediate {
+		if b, ok := px.partBytes[partKey{r, p}]; ok {
+			return b
+		}
+	}
+	if r.PartBytes != nil && p < len(r.PartBytes) {
+		return r.PartBytes[p]
+	}
+	return 0
+}
+
+// setPartBytes records a partition size, deferred through the overlay.
+func (px *planeCtx) setPartBytes(r *rdd.RDD, p int, bytes int64) {
+	if px.immediate {
+		if r.PartBytes == nil {
+			r.PartBytes = make([]int64, r.Parts)
+		}
+		r.PartBytes[p] = bytes
+		return
+	}
+	if px.partBytes == nil {
+		px.partBytes = make(map[partKey]int64)
+	}
+	px.partBytes[partKey{r, p}] = bytes
+}
+
+// noteTransformTime accumulates the per-RDD max transform time.
+func (px *planeCtx) noteTransformTime(r *rdd.RDD, ct time.Duration) {
+	if px.immediate {
+		if ct > r.MaxTransformTime {
+			r.MaxTransformTime = ct
+		}
+		return
+	}
+	if px.maxTT == nil {
+		px.maxTT = make(map[*rdd.RDD]time.Duration)
+	}
+	if ct > px.maxTT[r] {
+		px.maxTT[r] = ct
+	}
+}
+
+// cacheHit / cacheMiss record cache-stat deltas, deferred to the join.
+func (px *planeCtx) cacheHit() {
+	if px.immediate {
+		px.e.stats.CacheHits++
+		return
+	}
+	px.hits++
+}
+
+func (px *planeCtx) cacheMiss() {
+	if px.immediate {
+		px.e.stats.CacheMisses++
+		return
+	}
+	px.misses++
+}
+
+// dropCorrupt evicts a corrupt persisted block, deferred to the join.
+func (px *planeCtx) dropCorrupt(checkpoint bool, a, b int, detail string) {
+	if px.immediate {
+		if checkpoint {
+			px.e.store.DropCheckpoint(a, b)
+		} else {
+			px.e.store.DropMapOutput(a, b)
+		}
+		px.e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
+		px.e.trace("block-corrupt", -1, -1, -1, -1, detail)
+		return
+	}
+	px.drops = append(px.drops, deferredDrop{checkpoint: checkpoint, a: a, b: b, detail: detail})
+}
+
+// drainBatch is the event boundary: it executes every deferred task batch,
+// joins the results back in dispatch order, and reschedules. The loop's
+// post-step hook calls it after every event; SubmitJob, KillExecutor and
+// RestartExecutor call it explicitly for work dispatched outside the loop.
+// Joins only replay buffered effects and schedule completion events — no
+// user callbacks run here — so re-entry cannot occur through job code; the
+// draining guard makes that assumption explicit.
+func (e *Engine) drainBatch() {
+	if e.draining || len(e.batch) == 0 {
+		return
+	}
+	e.draining = true
+	for len(e.batch) > 0 {
+		batch := e.batch
+		e.batch = nil
+		e.runPlanes(batch)
+		for _, be := range batch {
+			e.joinTask(be)
+		}
+		// Joined cache puts may have promoted plain tasks (wakeTasks), and
+		// the dispatching round saw pre-batch cache state; run another round
+		// so those launches happen at this event's virtual time, as inline
+		// execution would.
+		e.schedule()
+	}
+	e.draining = false
+}
+
+// runPlanes executes a batch's data planes. The worker pool engages only
+// when it cannot be observed: more than one plane, parallelism configured
+// above one, and no probabilistic storage-fault injection (whose RNG draws
+// must happen in dispatch order; StorageOp is draw-free at probability
+// zero). Otherwise planes run sequentially on the event-loop goroutine —
+// still deferred, so scheduling semantics are identical either way.
+func (e *Engine) runPlanes(batch []*batchEntry) {
+	for _, be := range batch {
+		be.px = e.newPlaneCtx(be.exec)
+	}
+	if e.par > 1 && len(batch) > 1 && (e.inj == nil || e.inj.Schedule().StorageErrorProb <= 0) {
+		// Shuffle reads lazily rebuild their per-reduce index; force the
+		// rebuilds now so concurrent planes only ever read.
+		e.store.PrepareShuffleReads()
+		workers := e.par
+		if workers > len(batch) {
+			workers = len(batch)
+		}
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					be := batch[i]
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								be.panicked = r
+							}
+						}()
+						e.runPlane(be)
+					}()
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for _, be := range batch {
+		e.runPlane(be)
+	}
+}
+
+// joinTask applies one plane's buffered effects on the control plane, in
+// dispatch order, and schedules the task's completion event — the deferred
+// twin of the tail of the old inline execTask.
+func (e *Engine) joinTask(be *batchEntry) {
+	if be.panicked != nil {
+		panic(be.panicked)
+	}
+	t, px := be.t, be.px
+	be.px = nil
+	defer releasePlaneCtx(px)
+	if t.aborted || t.lost {
+		// Cancelled between dispatch and join; inline execution would never
+		// have started, so apply nothing.
+		e.releaseSlot(t)
+		return
+	}
+	for _, op := range px.ops {
+		if op.put {
+			evicted := e.cl.CachePut(px.exec, op.id, op.data, op.bytes)
+			e.onEvictions(px.exec, evicted)
+			e.wakeTasks(op.id)
+		} else {
+			e.cl.CacheGet(px.exec, op.id) // LRU recency replay
+		}
+	}
+	for _, d := range px.drops {
+		if d.checkpoint {
+			e.store.DropCheckpoint(d.a, d.b)
+		} else {
+			e.store.DropMapOutput(d.a, d.b)
+		}
+		e.recUpdate(func(m *recMetrics) { m.CorruptBlocks++ })
+		e.trace("block-corrupt", -1, -1, -1, -1, d.detail)
+	}
+	// Partition sizes and transform times are idempotent across tasks
+	// (transforms are pure), so overlay iteration order is immaterial.
+	for pk, b := range px.partBytes {
+		if pk.r.PartBytes == nil {
+			pk.r.PartBytes = make([]int64, pk.r.Parts)
+		}
+		pk.r.PartBytes[pk.p] = b
+	}
+	for r, v := range px.maxTT {
+		if v > r.MaxTransformTime {
+			r.MaxTransformTime = v
+		}
+	}
+	e.stats.CacheHits += px.hits
+	e.stats.CacheMisses += px.misses
+	if px.err != nil {
+		t.failErr = px.err
+	}
+	dur := px.dur
+	// A straggling executor stretches the modeled duration; speculation keys
+	// off the resulting expectedEnd.
+	if f := e.cl.Executor(px.exec).Slowdown(); f > 1 {
+		dur = time.Duration(float64(dur) * f)
+	}
+	t.expectedEnd = e.loop.Now() + dur
+	e.loop.After(dur, func() { e.taskDone(t) })
+}

@@ -8,6 +8,7 @@ import (
 	"stark/internal/cluster"
 	"stark/internal/metrics"
 	netsim "stark/internal/net"
+	"stark/internal/record"
 	"stark/internal/replication"
 )
 
@@ -336,10 +337,12 @@ func (e *Engine) releaseSlot(t *task) {
 	}
 }
 
-// execTask is the executor-side receipt of a launch command: the data plane
-// executes immediately (mutating caches), and the computed duration
-// schedules the completion event. A command that arrives after the task was
-// cancelled, or at a process that has since died, does nothing.
+// execTask is the executor-side receipt of a launch command. The guard
+// checks run now, at delivery time; the data plane itself is deferred to the
+// event boundary (plane.go), where the batch accumulated during this event
+// executes — on the worker pool when safe — and joins back in dispatch
+// order. A command that arrives after the task was cancelled, or at a
+// process that has since died, does nothing.
 func (e *Engine) execTask(t *task, exec int) {
 	if t.aborted || t.lost {
 		e.releaseSlot(t)
@@ -353,17 +356,7 @@ func (e *Engine) execTask(t *task, exec int) {
 		t.lost = true
 		return
 	}
-	dur, err := e.runTask(t, exec)
-	if err != nil {
-		t.failErr = err
-	}
-	// A straggling executor stretches the modeled duration; speculation keys
-	// off the resulting expectedEnd.
-	if f := ex.Slowdown(); f > 1 {
-		dur = time.Duration(float64(dur) * f)
-	}
-	t.expectedEnd = e.loop.Now() + dur
-	e.loop.After(dur, func() { e.taskDone(t) })
+	e.batch = append(e.batch, &batchEntry{t: t, exec: exec})
 }
 
 // taskDone is the executor-side completion: the slot frees and the result
@@ -417,6 +410,11 @@ func (e *Engine) onTaskResult(t *task) {
 	// Apply action results now that the task is known to have survived.
 	t.sr.job.count += t.count
 	for p, data := range t.collected {
+		if t.collectedFP != nil {
+			if got := record.Fingerprint(data); got != t.collectedFP[p] {
+				panic(fmt.Sprintf("engine: collected partition %d of task %d mutated between staging and accept (copy-on-write violation)", p, t.id))
+			}
+		}
 		t.sr.job.parts[p] = data
 	}
 
@@ -500,6 +498,7 @@ func (e *Engine) KillExecutor(id int) {
 	e.loc.DropExecutor(id, e.cl.AliveExecutors())
 	e.resubmitLostTasks(id, e.loop.Now())
 	e.schedule()
+	e.drainBatch() // cover kills injected from outside the event loop
 }
 
 // resubmitLostTasks aborts every tracked task on an executor the driver has
@@ -562,6 +561,7 @@ func (e *Engine) RestartExecutor(id int) {
 	e.recMu.Unlock()
 	e.drainDeferredCheckpoints()
 	e.schedule()
+	e.drainBatch() // cover restarts injected from outside the event loop
 }
 
 // blockID is sugar for constructing block ids.

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"stark"
+	"stark/internal/partition"
+	"stark/internal/record"
+)
+
+// This file measures the deterministic parallel data plane (DESIGN.md
+// section 10) for BENCH_<n>.json artifacts: macro workloads run twice —
+// worker pool of 1 vs N — comparing wall-clock time while asserting the
+// virtual-time results are byte-identical, plus microbenchmarks of the
+// hot-path allocation cuts (GroupByKeySorted, dense shuffle bucketing)
+// against the algorithms they replaced.
+
+// BenchConfig sizes the benchmark run.
+type BenchConfig struct {
+	// Quick shrinks the workloads for CI smoke runs.
+	Quick bool
+	// Cores is the parallel arm's worker-pool size (default 4). Wall-clock
+	// speedup requires at least that many hardware threads; virtual-time
+	// equality holds regardless.
+	Cores int
+}
+
+// BenchEntry is one measurement. Macro entries compare wall-clock time of
+// the same workload at parallelism 1 vs Cores; micro entries compare the
+// optimized hot path against the replaced baseline algorithm.
+type BenchEntry struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "macro" or "micro"
+
+	SeqWallNs int64   `json:"seq_wall_ns,omitempty"`
+	ParWallNs int64   `json:"par_wall_ns,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+	// Identical reports that the virtual-time results (delays, counts,
+	// makespans) of the sequential and parallel arms matched byte-for-byte.
+	Identical bool  `json:"identical,omitempty"`
+	VirtualNs int64 `json:"virtual_ns,omitempty"`
+
+	BaselineNsOp      float64 `json:"baseline_ns_op,omitempty"`
+	OptimizedNsOp     float64 `json:"optimized_ns_op,omitempty"`
+	BaselineAllocsOp  float64 `json:"baseline_allocs_op,omitempty"`
+	OptimizedAllocsOp float64 `json:"optimized_allocs_op,omitempty"`
+}
+
+// BenchResult is the BENCH_<n>.json document.
+type BenchResult struct {
+	GoMaxProcs int          `json:"go_max_procs"`
+	NumCPU     int          `json:"num_cpu"`
+	Cores      int          `json:"cores"`
+	Quick      bool         `json:"quick"`
+	Note       string       `json:"note"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// benchTP is the shared throughput config for the fig19/fig20-shaped macro
+// workloads, shrunk from the paper's 40-node cluster to bench scale.
+func benchTP(quick bool, par int) ThroughputConfig {
+	tp := DefaultThroughput()
+	tp.Executors = 8
+	tp.Slots = 4
+	tp.MemoryPerExec = 256 << 20
+	tp.EventsPerStep = 1500
+	tp.WindowSteps = 18
+	tp.QueriesPerRate = 60
+	tp.Rates = []float64{40}
+	tp.Systems = []System{StarkH}
+	tp.Parallelism = par
+	tp.Seed = 7
+	if quick {
+		tp.EventsPerStep = 600
+		tp.WindowSteps = 8
+		tp.QueriesPerRate = 20
+	}
+	return tp
+}
+
+// macroArms runs one workload at parallelism 1 and cores, filling the
+// wall-clock and identity fields. The digest must capture every
+// virtual-time observable the workload produces.
+func macroArms(name string, cores int, run func(par int) (digest string, virtualNs int64, err error)) (BenchEntry, error) {
+	e := BenchEntry{Name: name, Kind: "macro"}
+	t0 := time.Now()
+	seqDigest, virtualNs, err := run(1)
+	if err != nil {
+		return e, fmt.Errorf("%s sequential arm: %w", name, err)
+	}
+	e.SeqWallNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
+	parDigest, _, err := run(cores)
+	if err != nil {
+		return e, fmt.Errorf("%s parallel arm: %w", name, err)
+	}
+	e.ParWallNs = time.Since(t0).Nanoseconds()
+	e.Speedup = float64(e.SeqWallNs) / float64(e.ParWallNs)
+	e.Identical = seqDigest == parDigest
+	e.VirtualNs = virtualNs
+	if !e.Identical {
+		return e, fmt.Errorf("%s: parallel arm diverged from sequential:\n--- par=1\n%s\n--- par=%d\n%s",
+			name, seqDigest, cores, parDigest)
+	}
+	return e, nil
+}
+
+// benchFig19 is the Fig 19 workload (query delay under offered load) as a
+// wall-clock benchmark.
+func benchFig19(quick bool, cores int) (BenchEntry, error) {
+	return macroArms("fig19-throughput", cores, func(par int) (string, int64, error) {
+		r, err := RunFig19(benchTP(quick, par))
+		if err != nil {
+			return "", 0, err
+		}
+		var virtual int64
+		digest := ""
+		for _, sys := range r.Systems {
+			for _, pt := range r.Curves[sys] {
+				digest += fmt.Sprintf("%s %+v\n", sys, pt)
+				virtual = pt.MeanDelay.Nanoseconds()
+			}
+		}
+		return digest, virtual, nil
+	})
+}
+
+// benchFig20 is the Fig 20 workload (delay over a diurnal trace replay) as
+// a wall-clock benchmark.
+func benchFig20(quick bool, cores int) (BenchEntry, error) {
+	return macroArms("fig20-replay", cores, func(par int) (string, int64, error) {
+		cfg := DefaultFig20()
+		cfg.Throughput = benchTP(quick, par)
+		cfg.Hours = 2
+		cfg.BurstQueries = 15
+		cfg.BurstsPerHour = 1
+		if quick {
+			cfg.Hours = 1
+			cfg.BurstQueries = 8
+		}
+		r, err := RunFig20(cfg)
+		if err != nil {
+			return "", 0, err
+		}
+		var virtual int64
+		digest := ""
+		for _, sys := range r.Systems {
+			for _, pt := range r.Series[sys] {
+				digest += fmt.Sprintf("%s %+v\n", sys, pt)
+				virtual += pt.MeanDelay.Nanoseconds()
+			}
+		}
+		return digest, virtual, nil
+	})
+}
+
+// bench100kTasks mirrors BenchmarkEngine100kTasks: a wide shuffle whose
+// task count stresses the scheduler fast path and whose map planes carry
+// the record compute.
+func bench100kTasks(quick bool, cores int) (BenchEntry, error) {
+	parts := 20000
+	perPart := 64
+	if quick {
+		parts = 4000
+	}
+	data := make([][]stark.Record, parts)
+	for p := range data {
+		rs := make([]stark.Record, perPart)
+		for i := range rs {
+			rs[i] = stark.Pair(fmt.Sprintf("k-%d-%d", p, i), int64(i))
+		}
+		data[p] = rs
+	}
+	return macroArms("engine-100k-tasks", cores, func(par int) (string, int64, error) {
+		ctx := stark.NewContext(
+			stark.WithExecutors(8), stark.WithSlots(4),
+			stark.WithParallelism(par), stark.WithSeed(1),
+		)
+		src := ctx.FromPartitions("src", data, false)
+		n, st, err := src.PartitionBy(stark.NewHashPartitioner(parts)).Count()
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("count=%d makespan=%v", n, st.Makespan()), st.Makespan().Nanoseconds(), nil
+	})
+}
+
+// benchRecords builds the microbenchmark input: count records over keys
+// distinct keys, realistic short string keys.
+func benchRecords(count, keys int) []record.Record {
+	rs := make([]record.Record, count)
+	for i := range rs {
+		rs[i] = record.Pair(fmt.Sprintf("key-%05d", i%keys), int64(i))
+	}
+	return rs
+}
+
+// microEntry times baseline vs optimized closures (ns/op via a timed loop,
+// allocs/op via testing.AllocsPerRun).
+func microEntry(name string, iters int, baseline, optimized func()) BenchEntry {
+	nsOp := func(fn func()) float64 {
+		fn() // warm
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(iters)
+	}
+	return BenchEntry{
+		Name: name, Kind: "micro",
+		BaselineNsOp:      nsOp(baseline),
+		OptimizedNsOp:     nsOp(optimized),
+		BaselineAllocsOp:  testing.AllocsPerRun(iters, baseline),
+		OptimizedAllocsOp: testing.AllocsPerRun(iters, optimized),
+	}
+}
+
+// microGroupByKey compares the replaced map-of-slices GroupByKey (double
+// map operation per record plus a keys slice and a second map traversal)
+// against GroupByKeySorted on the reduce-side grouping shape.
+func microGroupByKey(quick bool) BenchEntry {
+	data := benchRecords(20000, 1500)
+	iters := 40
+	if quick {
+		iters = 10
+	}
+	var sink int
+	return microEntry("groupbykey-sorted", iters,
+		func() {
+			m, keys := record.GroupByKey(data)
+			for _, k := range keys {
+				sink += len(m[k])
+			}
+		},
+		func() {
+			for _, g := range record.GroupByKeySorted(data) {
+				sink += len(g.Values)
+			}
+		})
+}
+
+// microBucket compares the replaced shuffle map-output path (bucket into a
+// map keyed by reduce partition, defensively clone each bucket, then
+// re-walk it with SizeOfSlice) against the engine's current dense path
+// (pre-sized bucket array, no clone, byte size accumulated in the same
+// pass). Mirrors engine.bucketMapOutput.
+func microBucket(quick bool) BenchEntry {
+	data := benchRecords(20000, 20000)
+	const parts = 64
+	p := partition.NewHash(parts)
+	overhead := record.SizeOfSlice(nil)
+	iters := 40
+	if quick {
+		iters = 10
+	}
+	var sink int64
+	return microEntry("shuffle-bucketing", iters,
+		func() {
+			m := make(map[int][]record.Record)
+			for _, r := range data {
+				i := p.PartitionFor(r.Key)
+				m[i] = append(m[i], r)
+			}
+			for _, b := range m {
+				c := record.Clone(b)
+				sink += record.SizeOfSlice(c)
+			}
+		},
+		func() {
+			buckets := make([][]record.Record, parts)
+			bytes := make([]int64, parts)
+			for _, r := range data {
+				i := p.PartitionFor(r.Key)
+				buckets[i] = append(buckets[i], r)
+				bytes[i] += record.SizeOfRecord(r)
+			}
+			for i, b := range buckets {
+				if b != nil {
+					sink += overhead + bytes[i]
+				}
+			}
+		})
+}
+
+// RunBench produces the BENCH_<n>.json measurements.
+func RunBench(cfg BenchConfig) (*BenchResult, error) {
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 4
+	}
+	res := &BenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Cores:      cores,
+		Quick:      cfg.Quick,
+		Note: "macro speedup = wall-clock(parallelism 1) / wall-clock(parallelism " +
+			fmt.Sprint(cores) + "); requires >= that many hardware threads to " +
+			"materialize. identical=true certifies the virtual-time results of " +
+			"both arms matched byte-for-byte.",
+	}
+	for _, run := range []func(bool, int) (BenchEntry, error){benchFig19, benchFig20, bench100kTasks} {
+		e, err := run(cfg.Quick, cores)
+		if err != nil {
+			return res, err
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	res.Entries = append(res.Entries, microGroupByKey(cfg.Quick), microBucket(cfg.Quick))
+	return res, nil
+}
+
+// WriteJSON emits the result document.
+func (r *BenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print emits a human-readable summary.
+func (r *BenchResult) Print(w io.Writer) {
+	fprintf(w, "bench: GOMAXPROCS=%d NumCPU=%d parallel arm=%d quick=%v\n",
+		r.GoMaxProcs, r.NumCPU, r.Cores, r.Quick)
+	for _, e := range r.Entries {
+		switch e.Kind {
+		case "macro":
+			fprintf(w, "  %-18s wall %8.1fms -> %8.1fms  speedup %.2fx  identical=%v  virtual %v\n",
+				e.Name,
+				float64(e.SeqWallNs)/1e6, float64(e.ParWallNs)/1e6,
+				e.Speedup, e.Identical, time.Duration(e.VirtualNs).Round(time.Microsecond))
+		case "micro":
+			fprintf(w, "  %-18s %9.0f ns/op -> %9.0f ns/op   %7.1f allocs/op -> %7.1f allocs/op\n",
+				e.Name, e.BaselineNsOp, e.OptimizedNsOp, e.BaselineAllocsOp, e.OptimizedAllocsOp)
+		}
+	}
+}

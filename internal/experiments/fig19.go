@@ -44,6 +44,11 @@ type ThroughputConfig struct {
 	// Systems restricts the sweep; nil means all four compared systems.
 	Systems []System
 
+	// Parallelism sets the engine's data-plane worker-pool size; 0 uses
+	// GOMAXPROCS. Virtual-time results are identical for every value — the
+	// knob only changes wall-clock time (see DESIGN.md section 10).
+	Parallelism int
+
 	Seed int64
 }
 
@@ -107,6 +112,7 @@ func setupThroughput(cfg ThroughputConfig, sys System, stepVolume func(step int)
 		stark.WithClusterConfig(cc),
 		stark.WithLocalityWait(wait),
 		stark.WithSeed(cfg.Seed),
+		stark.WithParallelism(cfg.Parallelism),
 	)...)
 
 	taxi := workload.DefaultTaxi()

@@ -7,6 +7,16 @@
 // Data functions here are pure: they map input record slices to output
 // record slices. Where data lives, what it costs to move, and when it is
 // computed are the engine's concern.
+//
+// Purity is a hard contract, not a convention: transforms must not mutate
+// their input slices or records, must not retain references to inputs beyond
+// the call (aliasing records into the output is fine — records are values),
+// and must be deterministic in the keys and values they emit for given
+// inputs. The engine relies on this to execute partitions on a parallel
+// worker pool, to share partition data copy-free between the cache, collect
+// results and checkpoint writes, and to reuse recorded partition sizes
+// across recomputations. Run with STARK_CHECK_COW=1 to turn violations into
+// panics.
 package rdd
 
 import (
@@ -84,8 +94,14 @@ type RDD struct {
 	Checkpointed bool
 
 	// PartBytes, filled at materialization, records simulated bytes per
-	// partition — checkpoint cost c and group sizes derive from it.
+	// partition — checkpoint cost c and group sizes derive from it. A
+	// recorded size persists across eviction: transforms are pure, so a
+	// recomputed partition always measures the same.
 	PartBytes []int64
+	// COWSums holds per-partition fingerprints of Source taken at graph
+	// construction (STARK_CHECK_COW=1 only); the engine re-verifies them at
+	// materialization to catch callers mutating source data they handed in.
+	COWSums []uint64
 	// MaxTransformTime is the maximum per-task transform time observed, the
 	// paper's per-transformation recovery delay estimate d (Sec. III-D1).
 	MaxTransformTime time.Duration
@@ -151,19 +167,24 @@ func (g *Graph) allocShuffle() int {
 }
 
 // Source creates a source RDD from per-partition data. fromDisk charges a
-// disk read on first materialization, modeling sc.textFile.
+// disk read on first materialization, modeling sc.textFile. The RDD adopts
+// the partition slices copy-on-write — the caller must not mutate them
+// afterwards (STARK_CHECK_COW=1 verifies this at every materialization).
 func (g *Graph) Source(name string, parts [][]record.Record, fromDisk bool) *RDD {
-	cp := make([][]record.Record, len(parts))
-	for i, p := range parts {
-		cp[i] = record.Clone(p)
-	}
-	return g.add(&RDD{
+	r := &RDD{
 		Name:           name,
 		Parts:          len(parts),
 		Kind:           KindSource,
-		Source:         cp,
+		Source:         parts,
 		SourceFromDisk: fromDisk,
-	})
+	}
+	if record.CowCheckEnabled() {
+		r.COWSums = make([]uint64, len(parts))
+		for i, p := range parts {
+			r.COWSums[i] = record.Fingerprint(p)
+		}
+	}
+	return g.add(r)
 }
 
 // narrowChild wires a single narrow dependency and inherits partitioner,
@@ -271,15 +292,14 @@ func (g *Graph) LocalityPartitionBy(parent *RDD, name string, p partition.Partit
 // path, which Stark's co-partitioned collections hit constantly.
 func (g *Graph) ReduceByKey(parent *RDD, name string, p partition.Partitioner, merge func(a, b any) any) *RDD {
 	combine := func(in []record.Record) []record.Record {
-		m, keys := record.GroupByKey(in)
-		out := make([]record.Record, 0, len(keys))
-		for _, k := range keys {
-			vs := m[k]
-			acc := vs[0]
-			for _, v := range vs[1:] {
+		groups := record.GroupByKeySorted(in)
+		out := make([]record.Record, 0, len(groups))
+		for _, grp := range groups {
+			acc := grp.Values[0]
+			for _, v := range grp.Values[1:] {
 				acc = merge(acc, v)
 			}
-			out = append(out, record.Record{Key: k, Value: acc})
+			out = append(out, record.Record{Key: grp.Key, Value: acc})
 		}
 		return out
 	}
@@ -392,17 +412,21 @@ func (g *Graph) Join(name string, p partition.Partitioner, left, right *RDD) *RD
 		Deps:        g.coGroupDeps(p, parents),
 		Namespace:   sharedNamespace(parents),
 		Transform: func(_ int, inputs [][]record.Record) []record.Record {
-			lm, lkeys := record.GroupByKey(inputs[0])
-			rm, _ := record.GroupByKey(inputs[1])
+			lg := record.GroupByKeySorted(inputs[0])
+			rg := record.GroupByKeySorted(inputs[1])
+			ridx := make(map[string]int, len(rg))
+			for i, grp := range rg {
+				ridx[grp.Key] = i
+			}
 			var out []record.Record
-			for _, k := range lkeys {
-				rvs, ok := rm[k]
+			for _, lgrp := range lg {
+				i, ok := ridx[lgrp.Key]
 				if !ok {
 					continue
 				}
-				for _, lv := range lm[k] {
-					for _, rv := range rvs {
-						out = append(out, record.Record{Key: k, Value: record.Joined{Left: lv, Right: rv}})
+				for _, lv := range lgrp.Values {
+					for _, rv := range rg[i].Values {
+						out = append(out, record.Record{Key: lgrp.Key, Value: record.Joined{Left: lv, Right: rv}})
 					}
 				}
 			}
@@ -463,10 +487,10 @@ func (g *Graph) Distinct(parent *RDD, name string, p partition.Partitioner) *RDD
 // Like ReduceByKey it runs narrow when the parent is co-partitioned.
 func (g *Graph) GroupByKey(parent *RDD, name string, p partition.Partitioner) *RDD {
 	groupAll := func(in []record.Record) []record.Record {
-		m, keys := record.GroupByKey(in)
-		out := make([]record.Record, 0, len(keys))
-		for _, k := range keys {
-			out = append(out, record.Record{Key: k, Value: m[k]})
+		groups := record.GroupByKeySorted(in)
+		out := make([]record.Record, 0, len(groups))
+		for _, grp := range groups {
+			out = append(out, record.Record{Key: grp.Key, Value: grp.Values})
 		}
 		return out
 	}
@@ -541,8 +565,10 @@ func (g *Graph) SortByKey(parent *RDD, name string, sample []string, parts int) 
 	rp := partition.NewRange(sample, parts)
 	shuffled := g.PartitionBy(parent, name+"-range", rp)
 	return g.MapPartitions(shuffled, name, true, 1.2, func(in []record.Record) []record.Record {
-		out := record.Clone(in)
-		sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-		return out
+		// Sorting in place is safe: the input is the private "-range"
+		// shuffle's partition, freshly concatenated per materialization and
+		// never cached or shared with another consumer.
+		sort.SliceStable(in, func(i, j int) bool { return in[i].Key < in[j].Key })
+		return in
 	})
 }

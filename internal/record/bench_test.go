@@ -1,0 +1,55 @@
+package record
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchData(n, keys int) []Record {
+	rs := make([]Record, n)
+	for i := range rs {
+		rs[i] = Pair(fmt.Sprintf("key-%05d", i%keys), int64(i))
+	}
+	return rs
+}
+
+func BenchmarkGroupByKey(b *testing.B) {
+	data := benchData(20000, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, keys := GroupByKey(data)
+		for _, k := range keys {
+			if len(m[k]) == 0 {
+				b.Fatal("empty group")
+			}
+		}
+	}
+}
+
+func BenchmarkGroupByKeySorted(b *testing.B) {
+	data := benchData(20000, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, g := range GroupByKeySorted(data) {
+			if len(g.Values) == 0 {
+				b.Fatal("empty group")
+			}
+		}
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	data := benchData(20000, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Fingerprint(data)
+	}
+}
+
+func BenchmarkSizeOfSlice(b *testing.B) {
+	data := benchData(20000, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SizeOfSlice(data)
+	}
+}

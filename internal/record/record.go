@@ -7,7 +7,9 @@ package record
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"sync"
 )
 
 // Record is one key-value element of a dataset partition.
@@ -130,6 +132,49 @@ func GroupByKey(rs []Record) (map[string][]any, []string) {
 	return m, keys
 }
 
+// Grouped is one key with its accumulated values, produced by
+// GroupByKeySorted.
+type Grouped struct {
+	Key    string
+	Values []any
+}
+
+// GroupByKeySorted groups a record slice by key and returns the groups in
+// ascending key order. It is the allocation-lean replacement for GroupByKey
+// on hot paths: instead of growing one values slice per key (an allocation
+// storm proportional to group count), it counts group sizes in a first pass
+// and carves every group's Values out of one shared backing array, so a
+// partition groups in a handful of allocations regardless of key count.
+// Consumers must treat Values as read-only (appending to one group would
+// clobber its neighbor), which the engine's purity contract already demands.
+func GroupByKeySorted(rs []Record) []Grouped {
+	idx := make(map[string]int, len(rs))
+	groups := make([]Grouped, 0, 64)
+	counts := make([]int, 0, 64)
+	for _, r := range rs {
+		i, ok := idx[r.Key]
+		if !ok {
+			i = len(groups)
+			idx[r.Key] = i
+			groups = append(groups, Grouped{Key: r.Key})
+			counts = append(counts, 0)
+		}
+		counts[i]++
+	}
+	backing := make([]any, len(rs))
+	off := 0
+	for i := range groups {
+		groups[i].Values = backing[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for _, r := range rs {
+		i := idx[r.Key]
+		groups[i].Values = append(groups[i].Values, r.Value)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	return groups
+}
+
 // AsInt64 converts numeric values the engine produces to int64, with ok
 // reporting success. Counting and reduce helpers use it to stay total.
 func AsInt64(v any) (int64, bool) {
@@ -157,4 +202,52 @@ func Clone(rs []Record) []Record {
 	out := make([]Record, len(rs))
 	copy(out, rs)
 	return out
+}
+
+// Fingerprint hashes a record slice's observable shape (length plus every
+// key, FNV-64a) cheaply enough to run on hot paths. The engine's
+// copy-on-write debug mode (STARK_CHECK_COW=1) fingerprints slices when they
+// start being shared and re-checks at the point the old code would have
+// cloned, turning an aliasing violation into a loud failure instead of
+// silent corruption.
+func Fingerprint(rs []Record) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	n := len(rs)
+	for i := 0; i < 8; i++ {
+		mix(byte(n >> (8 * i)))
+	}
+	for _, r := range rs {
+		for i := 0; i < len(r.Key); i++ {
+			mix(r.Key[i])
+		}
+		mix(0)
+	}
+	return h
+}
+
+var (
+	cowCheckOnce sync.Once
+	cowCheck     bool
+)
+
+// CowCheckEnabled reports whether STARK_CHECK_COW=1 is set, enabling the
+// mutation-detection checks guarding the engine's copy-on-write fast paths.
+func CowCheckEnabled() bool {
+	cowCheckOnce.Do(func() { cowCheck = os.Getenv("STARK_CHECK_COW") == "1" })
+	return cowCheck
+}
+
+// SetCowCheckForTesting overrides the STARK_CHECK_COW switch for tests that
+// must exercise both modes within one process (the env variable is read
+// once). It returns the previous value so callers can restore it.
+func SetCowCheckForTesting(v bool) bool {
+	cowCheckOnce.Do(func() { cowCheck = os.Getenv("STARK_CHECK_COW") == "1" })
+	prev := cowCheck
+	cowCheck = v
+	return prev
 }

@@ -236,6 +236,18 @@ func (s *Store) MissingMapOutputs(id int) []int {
 	return missing
 }
 
+// PrepareShuffleReads rebuilds every dirty per-reduce index up front so
+// subsequent ReadReduce calls are pure reads. The engine calls it before
+// dispatching a parallel batch: without it, the first reader of a dirty
+// shuffle would rebuild the index while other goroutines read it.
+func (s *Store) PrepareShuffleReads() {
+	for _, st := range s.shuffles {
+		if st.dirty {
+			st.rebuildIndex()
+		}
+	}
+}
+
 // ReadReduce concatenates every map output bucket for one reduce partition,
 // returning the records and total bytes fetched. It fails if the shuffle is
 // incomplete, because a real reducer would block.

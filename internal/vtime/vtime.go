@@ -48,7 +48,16 @@ type Loop struct {
 	now time.Duration
 	pq  eventHeap
 	seq uint64
+	// postStep, when set, runs after every executed event, still at the
+	// event's virtual time. The engine uses it as the event boundary where
+	// deferred data-plane work joins back into the control plane.
+	postStep func()
 }
+
+// SetPostStep installs (or, with nil, removes) a callback invoked after
+// every event executed by Step, at the event's virtual time. Work the
+// callback schedules runs in later events as usual.
+func (l *Loop) SetPostStep(fn func()) { l.postStep = fn }
 
 // NewLoop returns an event loop starting at virtual time zero.
 func NewLoop() *Loop { return &Loop{} }
@@ -88,6 +97,9 @@ func (l *Loop) Step() bool {
 	ev := heap.Pop(&l.pq).(*event)
 	l.now = ev.at
 	ev.fn()
+	if l.postStep != nil {
+		l.postStep()
+	}
 	return true
 }
 

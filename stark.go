@@ -175,6 +175,15 @@ func WithSeed(seed int64) Option {
 	return func(c *engine.Config) { c.Seed = seed }
 }
 
+// WithParallelism bounds the wall-clock data-plane worker pool executing
+// task compute between virtual-time events. It never changes simulation
+// results — runs are bit-identical at any setting — only how fast they are
+// produced. 1 forces sequential execution; 0 (the default) uses
+// runtime.GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(c *engine.Config) { c.Execution.Parallelism = n }
+}
+
 // WithGC tunes the garbage-collection pressure model: base overhead
 // fraction below the knee, growing with the given power to max at full
 // memory.
