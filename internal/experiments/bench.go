@@ -88,18 +88,18 @@ func benchTP(quick bool, par int) ThroughputConfig {
 // virtual-time observable the workload produces.
 func macroArms(name string, cores int, run func(par int) (digest string, virtualNs int64, err error)) (BenchEntry, error) {
 	e := BenchEntry{Name: name, Kind: "macro"}
-	t0 := time.Now()
+	t0 := time.Now() //starklint:ignore wallclock bench arm measures real wall-clock speedup of the worker pool
 	seqDigest, virtualNs, err := run(1)
 	if err != nil {
 		return e, fmt.Errorf("%s sequential arm: %w", name, err)
 	}
-	e.SeqWallNs = time.Since(t0).Nanoseconds()
-	t0 = time.Now()
+	e.SeqWallNs = time.Since(t0).Nanoseconds() //starklint:ignore wallclock bench arm measures real wall-clock speedup of the worker pool
+	t0 = time.Now()                            //starklint:ignore wallclock bench arm measures real wall-clock speedup of the worker pool
 	parDigest, _, err := run(cores)
 	if err != nil {
 		return e, fmt.Errorf("%s parallel arm: %w", name, err)
 	}
-	e.ParWallNs = time.Since(t0).Nanoseconds()
+	e.ParWallNs = time.Since(t0).Nanoseconds() //starklint:ignore wallclock bench arm measures real wall-clock speedup of the worker pool
 	e.Speedup = float64(e.SeqWallNs) / float64(e.ParWallNs)
 	e.Identical = seqDigest == parDigest
 	e.VirtualNs = virtualNs
@@ -204,12 +204,12 @@ func benchRecords(count, keys int) []record.Record {
 // allocs/op via testing.AllocsPerRun).
 func microEntry(name string, iters int, baseline, optimized func()) BenchEntry {
 	nsOp := func(fn func()) float64 {
-		fn() // warm
-		t0 := time.Now()
+		fn()             // warm
+		t0 := time.Now() //starklint:ignore wallclock micro-benchmark times a real closure, ns/op is wall time by definition
 		for i := 0; i < iters; i++ {
 			fn()
 		}
-		return float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		return float64(time.Since(t0).Nanoseconds()) / float64(iters) //starklint:ignore wallclock micro-benchmark times a real closure, ns/op is wall time by definition
 	}
 	return BenchEntry{
 		Name: name, Kind: "micro",

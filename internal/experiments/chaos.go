@@ -86,13 +86,13 @@ type ChaosResult struct {
 	SpecWins      int
 	Blacklists    int
 
-	Suspicions     int
-	SuspCleared    int
-	DeadDecls      int
-	Rejoins        int
-	StaleRejects   int
-	CorruptReads   int // corrupt blocks detected by checksum on read
-	MaxDetect      time.Duration
+	Suspicions   int
+	SuspCleared  int
+	DeadDecls    int
+	Rejoins      int
+	StaleRejects int
+	CorruptReads int // corrupt blocks detected by checksum on read
+	MaxDetect    time.Duration
 
 	MaxDelay time.Duration // largest recovery delay seen over all seeds
 	Horizon  time.Duration // fault window (the oracle's virtual makespan)
