@@ -1,0 +1,76 @@
+// Command starklint runs the Stark repo's custom static-analysis suite: the
+// determinism, purity, and plane-isolation contracts that the runtime
+// oracles (parallelism-1-vs-N byte equality, STARK_CHECK_COW, the chaos
+// harness) check dynamically, enforced at build time instead.
+//
+// Usage:
+//
+//	starklint [packages]
+//
+// Packages default to ./... and use go-list pattern syntax. Non-test Go
+// files of every matched package are parsed and type-checked (against
+// build-cache export data, so the tree must compile), then run through the
+// five analyzers:
+//
+//	wallclock   — no time.Now/Since/Sleep/... in deterministic packages
+//	globalrand  — no package-level math/rand draws; seeded *rand.Rand only
+//	mapiter     — no map-range loops feeding ordered state without a sort
+//	cowpurity   — no mutation of copy-on-write records in transform closures
+//	planesafety — no control-plane mutation from data-plane code
+//
+// Findings print as file:line:col: analyzer: message. A finding is
+// suppressed by
+//
+//	//starklint:ignore <analyzer> <reason>
+//
+// on the same line or the line directly above; the reason is mandatory.
+// Exit status: 0 clean, 1 unsuppressed findings, 2 load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stark/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: starklint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starklint:", err)
+		os.Exit(2)
+	}
+
+	cfg := lint.DefaultConfig()
+	analyzers := lint.Analyzers()
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, cfg, analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "starklint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses root in source order, calling fn with each node and
+// the stack of its ancestors (outermost first, not including the node
+// itself). Returning false from fn skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		stack = append(stack, n)
+		if !ok {
+			// Children are skipped; pop immediately since Inspect will not
+			// deliver the matching nil.
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}
+
+// namedTypeName returns the name of t's core named type, looking through
+// pointers and aliases; "" when t has no name (slices, maps, funcs, ...).
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return namedTypeName(p.Elem())
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedTypePkgName returns the package name declaring t's core named type
+// ("" for unnamed or universe types).
+func namedTypePkgName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return namedTypePkgName(p.Elem())
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Name()
+	}
+	return ""
+}
+
+// chainRoot unwraps a selector/index/deref/paren chain (a.b.c[i].d) down to
+// its base expression, typically an identifier.
+func chainRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// rootObject resolves the base identifier of a selector/index chain to its
+// types.Object (nil when the chain is not rooted at a plain identifier).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := chainRoot(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (methods and package-level functions; nil for builtins, func values and
+// type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

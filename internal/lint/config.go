@@ -1,0 +1,48 @@
+package lint
+
+import "strings"
+
+// Config is the per-repo policy: which packages each analyzer binds to.
+// Analyzers consult it through the Pass so fixture tests can run with a
+// permissive policy while cmd/starklint runs the Stark defaults.
+type Config struct {
+	// DeterministicPkg reports whether a package must be free of wall-clock
+	// reads and global randomness. The intentional exceptions (bench timing
+	// in internal/experiments and cmd/starkbench) are NOT carved out here —
+	// they carry //starklint:ignore directives in-source, so the allowlist
+	// is visible where the clock is read.
+	DeterministicPkg func(path string) bool
+
+	// OrderedPkg reports whether a package holds order-sensitive scheduling
+	// or grouping state, binding the mapiter analyzer: engine, sched, group,
+	// partition.
+	OrderedPkg func(path string) bool
+}
+
+// DefaultConfig returns the Stark repo policy.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkg: func(path string) bool {
+			// The whole module is deterministic by contract: the public API,
+			// every internal package, the CLIs and the examples all replay
+			// against the virtual clock. Wall-clock measurement sites opt out
+			// individually with reasoned in-source suppressions.
+			return path == "stark" || strings.HasPrefix(path, "stark/")
+		},
+		OrderedPkg: func(path string) bool {
+			switch path {
+			case "stark/internal/engine", "stark/internal/sched",
+				"stark/internal/group", "stark/internal/partition":
+				return true
+			}
+			return false
+		},
+	}
+}
+
+// PermissiveConfig binds every analyzer to every package; fixture tests use
+// it so scope policy cannot mask an analyzer bug.
+func PermissiveConfig() *Config {
+	all := func(string) bool { return true }
+	return &Config{DeterministicPkg: all, OrderedPkg: all}
+}

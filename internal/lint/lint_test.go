@@ -1,0 +1,246 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"stark/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	fixOnce sync.Once
+	fixFset *token.FileSet
+	fixImp  types.Importer
+	fixErr  error
+)
+
+// fixtureImporter returns a shared FileSet and importer able to resolve
+// everything the module and the fixtures import, built once per test run.
+func fixtureImporter(t *testing.T) (*token.FileSet, types.Importer) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixFset = token.NewFileSet()
+		fixImp, fixErr = lint.NewRepoImporter(fixFset, moduleRoot(t), "time", "math/rand", "sort")
+	})
+	if fixErr != nil {
+		t.Fatalf("building fixture importer: %v", fixErr)
+	}
+	return fixFset, fixImp
+}
+
+// loadFixture parses and type-checks one testdata directory as a package
+// with the given import path.
+func loadFixture(t *testing.T, dir, path string) *lint.Package {
+	t.Helper()
+	fset, imp := fixtureImporter(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := lint.Check(fset, path, files, imp)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// wantedFindings extracts `// want <analyzer>...` expectations from the
+// fixture files as "file:line:analyzer" keys.
+func wantedFindings(pkg *lint.Package) []string {
+	var want []string
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Fields(text)[1:] {
+					want = append(want, fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, name))
+				}
+			}
+		}
+	}
+	return want
+}
+
+func gotFindings(diags []lint.Diagnostic) []string {
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer))
+	}
+	return got
+}
+
+func diffFindings(t *testing.T, want, got []string, diags []lint.Diagnostic) {
+	t.Helper()
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(want, "\n") == strings.Join(got, "\n") {
+		return
+	}
+	t.Errorf("findings mismatch\nwant:\n  %s\ngot:\n  %s", strings.Join(want, "\n  "), strings.Join(got, "\n  "))
+	for _, d := range diags {
+		t.Logf("  full: %s", d)
+	}
+}
+
+// TestAnalyzerFixtures runs every analyzer over its golden fixture package:
+// positives must fire, negatives must stay silent, suppressed sites must be
+// silenced by their reasoned directives.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := loadFixture(t, filepath.Join("testdata", a.Name), "fixture/"+a.Name)
+			diags := lint.Run(pkg, lint.PermissiveConfig(), lint.Analyzers())
+			want := wantedFindings(pkg)
+			if len(want) == 0 {
+				t.Fatalf("fixture for %s declares no expected findings", a.Name)
+			}
+			fired := false
+			for _, w := range want {
+				if strings.HasSuffix(w, ":"+a.Name) {
+					fired = true
+				}
+			}
+			if !fired {
+				t.Fatalf("fixture for %s expects no findings from its own analyzer", a.Name)
+			}
+			diffFindings(t, want, gotFindings(diags), diags)
+		})
+	}
+}
+
+// TestDirectiveHygiene checks that malformed suppressions are findings in
+// their own right and register no suppression: every time.Now line in the
+// fixture must surface both a starklint directive finding and the
+// underlying wallclock finding.
+func TestDirectiveHygiene(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "directive"), "fixture/directive")
+	diags := lint.Run(pkg, lint.PermissiveConfig(), lint.Analyzers())
+
+	src, err := os.ReadFile(filepath.Join("testdata", "directive", "directive.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "time.Now()") {
+			want = append(want,
+				fmt.Sprintf("directive.go:%d:starklint", i+1),
+				fmt.Sprintf("directive.go:%d:wallclock", i+1))
+		}
+	}
+	if len(want) != 6 {
+		t.Fatalf("expected 3 time.Now lines in fixture, derived %d keys", len(want))
+	}
+	diffFindings(t, want, gotFindings(diags), diags)
+}
+
+// checkSource type-checks an in-memory file as the given import path and
+// runs the full suite under the repo's DefaultConfig — the same policy
+// cmd/starklint applies.
+func checkSource(t *testing.T, path, src string) []lint.Diagnostic {
+	t.Helper()
+	fset, imp := fixtureImporter(t)
+	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.Check(fset, path, []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(pkg, lint.DefaultConfig(), lint.Analyzers())
+}
+
+// TestSeededWallclockInEngine pins the acceptance criterion: a deliberate
+// time.Now() introduced into stark/internal/engine must fail the lint under
+// the default policy.
+func TestSeededWallclockInEngine(t *testing.T) {
+	const src = `package engine
+
+import "time"
+
+func deadline() time.Time { return time.Now() }
+`
+	diags := checkSource(t, "stark/internal/engine", src)
+	if len(diags) != 1 || diags[0].Analyzer != "wallclock" {
+		t.Fatalf("want exactly one wallclock finding, got %v", diags)
+	}
+}
+
+// TestDefaultConfigScope checks the policy boundaries: mapiter binds only
+// to the ordered packages, while the determinism analyzers cover the whole
+// module.
+func TestDefaultConfigScope(t *testing.T) {
+	const mapSrc = `package p
+
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if diags := checkSource(t, "stark/internal/engine", mapSrc); len(diags) != 1 || diags[0].Analyzer != "mapiter" {
+		t.Fatalf("engine: want one mapiter finding, got %v", diags)
+	}
+	if diags := checkSource(t, "stark/internal/metrics", mapSrc); len(diags) != 0 {
+		t.Fatalf("metrics is not an ordered package; got %v", diags)
+	}
+
+	const timeSrc = `package p
+
+import "time"
+
+var t0 = time.Now()
+`
+	if diags := checkSource(t, "stark/internal/metrics", timeSrc); len(diags) != 1 || diags[0].Analyzer != "wallclock" {
+		t.Fatalf("metrics: want one wallclock finding, got %v", diags)
+	}
+	if diags := checkSource(t, "example.com/external", timeSrc); len(diags) != 0 {
+		t.Fatalf("external package must be out of scope; got %v", diags)
+	}
+}

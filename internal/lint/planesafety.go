@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// planeMutators names the methods that mutate control-plane, cluster,
+// scheduler or storage state. Data-plane code must never call them
+// directly: every such effect buffers in the planeCtx (cache-op log, drop
+// log, stat deltas) and replays at join time in dispatch order, so results
+// stay byte-identical at parallelism 1 vs N. Read-side accessors
+// (CachePeek, ReadReduce, ReadCheckpoint, cfg lookups) stay legal.
+var planeMutators = map[string]bool{
+	// engine control plane
+	"onEvictions": true, "wakeTasks": true, "recUpdate": true, "trace": true,
+	"schedule": true, "drainBatch": true, "taskDone": true, "releaseSlot": true,
+	"resubmitLostTasks": true, "declareDead": true,
+	// cluster / executor cache (CacheGet mutates LRU recency)
+	"CachePut": true, "CacheGet": true, "Kill": true, "Restart": true,
+	// persistent storage
+	"DropCheckpoint": true, "DropMapOutput": true,
+	"WriteMapOutput": true, "WriteCheckpoint": true,
+	// virtual clock: scheduling events from a worker goroutine races the loop
+	"After": true, "Run": true,
+}
+
+// planeStateTypes names the control-plane state holders; a call or store
+// whose receiver chain passes through one of these from inside data-plane
+// code is a plane-isolation escape.
+var planeStateTypes = map[string]bool{
+	"Engine": true, "Cluster": true, "Store": true, "Loop": true, "Injector": true,
+}
+
+// PlanesafetyAnalyzer enforces the two-clock plane isolation introduced in
+// DESIGN.md section 10. A function belongs to the data plane when it has a
+// *planeCtx receiver or parameter (or is runPlane itself, which unpacks the
+// batch entry); such functions may run on worker goroutines, so any direct
+// mutation of engine/cluster/scheduler/storage state — a planeMutators call
+// rooted at control-plane state, or a bare assignment through it — breaks
+// both determinism and memory safety. The one legal escape is the
+// synchronous path guarded by `if px.immediate { ... }`, which only runs on
+// the event-loop goroutine; statements inside that guard are exempt.
+var PlanesafetyAnalyzer = &Analyzer{
+	Name: "planesafety",
+	Doc:  "flags data-plane code mutating control-plane state outside the buffered side-effect context",
+	Run:  runPlanesafety,
+}
+
+func runPlanesafety(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.isDataPlaneFunc(fd) {
+				continue
+			}
+			pass.checkPlaneFunc(fd)
+		}
+	}
+}
+
+// isDataPlaneFunc reports whether fd is data-plane code: a planeCtx method,
+// a function threading a *planeCtx parameter, or runPlane (which receives
+// the context inside its batch entry).
+func (pass *Pass) isDataPlaneFunc(fd *ast.FuncDecl) bool {
+	if fd.Name.Name == "runPlane" {
+		return true
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			if namedTypeName(pass.Info.TypeOf(field.Type)) == "planeCtx" {
+				return true
+			}
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		if namedTypeName(pass.Info.TypeOf(field.Type)) == "planeCtx" {
+			return true
+		}
+	}
+	return false
+}
+
+func (pass *Pass) checkPlaneFunc(fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok || !planeMutators[sel.Sel.Name] {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if !pass.chainTouchesPlaneState(sel) || inImmediateGuard(pass, stack, n) {
+				return true
+			}
+			pass.Reportf(st.Pos(), "data-plane code calls %s.%s, mutating control-plane state; buffer the effect in the planeCtx and replay it at join",
+				exprString(sel.X), sel.Sel.Name)
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				pass.checkPlaneStore(lhs, stack, n)
+			}
+		case *ast.IncDecStmt:
+			pass.checkPlaneStore(st.X, stack, n)
+		}
+		return true
+	})
+}
+
+// checkPlaneStore flags an assignment whose destination chain passes
+// through control-plane state (e.g. px.e.stats.CacheHits++).
+func (pass *Pass) checkPlaneStore(lhs ast.Expr, stack []ast.Node, n ast.Node) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		if ix, okIx := ast.Unparen(lhs).(*ast.IndexExpr); okIx {
+			if s, okSel := ast.Unparen(ix.X).(*ast.SelectorExpr); okSel {
+				sel = s
+			} else {
+				return
+			}
+		} else {
+			return
+		}
+	}
+	if !pass.chainTouchesPlaneState(sel) || inImmediateGuard(pass, stack, n) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "data-plane code writes %s through control-plane state; buffer the effect in the planeCtx and replay it at join", exprString(lhs))
+}
+
+// chainTouchesPlaneState reports whether any sub-expression of the selector
+// chain (receiver side) has a control-plane state type — px.e, px.e.cl,
+// e.store, be.px.e and so on.
+func (pass *Pass) chainTouchesPlaneState(sel *ast.SelectorExpr) bool {
+	for e := ast.Expr(sel.X); ; {
+		if planeStateTypes[namedTypeName(pass.Info.TypeOf(e))] {
+			return true
+		}
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// e.cl.Executor(exec).Store: step through the call to its receiver.
+			if s, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				e = s.X
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// inImmediateGuard reports whether n sits inside the then-branch of an
+// `if <planeCtx>.immediate { ... }` statement — the synchronous path that
+// only executes on the event-loop goroutine.
+func inImmediateGuard(pass *Pass, stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond, ok := ast.Unparen(ifStmt.Cond).(*ast.SelectorExpr)
+		if !ok || cond.Sel.Name != "immediate" {
+			continue
+		}
+		if namedTypeName(pass.Info.TypeOf(cond.X)) != "planeCtx" {
+			continue
+		}
+		// Must be in the then-branch, not the else.
+		if n.Pos() >= ifStmt.Body.Pos() && n.Pos() < ifStmt.Body.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an in-source suppression:
+//
+//	//starklint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive silences the named analyzers on its own line and on the next
+// line that is not itself a directive (so it works both as a trailing
+// comment and on a line of its own, including stacked directives). The
+// reason is mandatory: a directive without one is itself a finding, so
+// every suppression in the tree documents why the invariant does not apply.
+const directivePrefix = "//starklint:ignore"
+
+type suppression struct {
+	analyzers []string
+	reason    string
+	line      int // directive's own line
+	target    int // next non-directive line it also covers
+}
+
+type suppressionSet struct {
+	// byFile maps filename -> line -> suppressions active on that line.
+	byFile map[string]map[int][]*suppression
+}
+
+func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	if d.Analyzer == "starklint" {
+		return false // directive-hygiene findings are not themselves suppressible
+	}
+	for _, sup := range s.byFile[d.Pos.Filename][d.Pos.Line] {
+		for _, a := range sup.analyzers {
+			if a == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in the files for directives and
+// returns the resulting set plus diagnostics for malformed directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (*suppressionSet, []Diagnostic) {
+	set := &suppressionSet{byFile: map[string]map[int][]*suppression{}}
+	var bad []Diagnostic
+	for _, f := range files {
+		type rawDir struct {
+			pos  token.Pos
+			line int
+			sup  *suppression
+		}
+		var dirs []rawDir
+		lines := map[int]bool{} // lines holding a directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "starklint",
+						Message: "suppression directive names no analyzer"})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				reason := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				if reason == "" {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "starklint",
+						Message: fmt.Sprintf("suppression of %q has no reason; write //starklint:ignore <analyzer> <reason>", fields[0])})
+					continue
+				}
+				ok := true
+				for _, n := range names {
+					if !knownAnalyzer(n) {
+						bad = append(bad, Diagnostic{Pos: pos, Analyzer: "starklint",
+							Message: "suppression names unknown analyzer " + n})
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				sup := &suppression{analyzers: names, reason: reason, line: pos.Line}
+				dirs = append(dirs, rawDir{pos: c.Pos(), line: pos.Line, sup: sup})
+				lines[pos.Line] = true
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		filename := fset.Position(f.Pos()).Filename
+		m := set.byFile[filename]
+		if m == nil {
+			m = map[int][]*suppression{}
+			set.byFile[filename] = m
+		}
+		for _, d := range dirs {
+			// A directive covers its own line (trailing-comment form) and the
+			// first following line that is not another directive (own-line
+			// form, skipping over stacked directives).
+			target := d.line + 1
+			for lines[target] {
+				target++
+			}
+			d.sup.target = target
+			m[d.line] = append(m[d.line], d.sup)
+			m[target] = append(m[target], d.sup)
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,14 @@
+// Package cowpurity models the transform API surface the analyzer keys on:
+// methods named Map/MapValues/FlatMap/Filter/ReduceByKey/MapPartitions on a
+// type named RDD (or Graph), taking closures over record.Record data.
+package cowpurity
+
+import "stark/internal/record"
+
+type RDD struct{}
+
+func (r *RDD) Map(f func(record.Record) record.Record) *RDD               { return r }
+func (r *RDD) Filter(f func(record.Record) bool) *RDD                     { return r }
+func (r *RDD) FlatMap(f func(record.Record) []record.Record) *RDD         { return r }
+func (r *RDD) MapPartitions(f func([]record.Record) []record.Record) *RDD { return r }
+func (r *RDD) ReduceByKey(merge func(a, b any) any) *RDD                  { return r }

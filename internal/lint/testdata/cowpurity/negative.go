@@ -1,0 +1,23 @@
+package cowpurity
+
+import "stark/internal/record"
+
+// The sanctioned style: treat inputs as immutable, build new records and
+// new output slices.
+func good(r *RDD) {
+	r.Map(func(rec record.Record) record.Record {
+		return record.Pair(rec.Key, 2)
+	})
+	r.MapPartitions(func(recs []record.Record) []record.Record {
+		out := make([]record.Record, 0, len(recs))
+		for _, rec := range recs {
+			out = append(out, record.Pair(rec.Key, rec.Value))
+		}
+		return out
+	})
+	r.FlatMap(func(rec record.Record) []record.Record {
+		var out []record.Record
+		out = append(out, rec)
+		return out
+	})
+}

@@ -1,0 +1,21 @@
+package cowpurity
+
+import "stark/internal/record"
+
+func bad(r *RDD) {
+	r.Map(func(rec record.Record) record.Record {
+		rec.Value = 1 // want cowpurity
+		return rec
+	})
+	r.Filter(func(rec record.Record) bool {
+		rec.Key = "x" // want cowpurity
+		return true
+	})
+	r.MapPartitions(func(recs []record.Record) []record.Record {
+		recs[0] = record.Pair("k", 1) // want cowpurity
+		recs[1].Key = "y"             // want cowpurity
+		p := &recs[2]                 // want cowpurity
+		_ = p
+		return append(recs, record.Pair("z", 2)) // want cowpurity
+	})
+}

@@ -1,0 +1,18 @@
+// Package directive exercises suppression-directive hygiene: a directive
+// with no reason or naming an unknown analyzer is itself a finding, and
+// registers no suppression — so the underlying finding surfaces too.
+package directive
+
+import "time"
+
+func noReason() {
+	_ = time.Now() //starklint:ignore wallclock
+}
+
+func unknownAnalyzer() {
+	_ = time.Now() //starklint:ignore nosuchcheck it will never run
+}
+
+func noAnalyzer() {
+	_ = time.Now() //starklint:ignore
+}

@@ -1,0 +1,12 @@
+package globalrand
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Seed(42)                      // want globalrand
+	x := rand.Intn(n)                  // want globalrand
+	f := rand.Float64()                // want globalrand
+	rand.Shuffle(n, func(i, j int) {}) // want globalrand
+	_ = f
+	return x
+}

@@ -1,0 +1,7 @@
+package globalrand
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64() //starklint:ignore globalrand fixture: demo of a reasoned suppression
+}

@@ -1,0 +1,41 @@
+package mapiter
+
+import "sort"
+
+// The engine's collect-then-sort idiom: appending in map order is fine when
+// a sort restores a canonical order before the slice is observed.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Integer accumulation commutes; iteration order cannot change the result.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Per-key writes land each key in its own slot regardless of order.
+func perKey(m, dst map[int]int) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}
+
+// Appends to a slice declared inside the loop are per-iteration scratch.
+func localScratch(m map[int][]int) map[int]int {
+	counts := make(map[int]int, len(m))
+	for k, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		counts[k] = len(tmp)
+	}
+	return counts
+}

@@ -1,0 +1,33 @@
+package mapiter
+
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want mapiter
+	}
+	return out
+}
+
+func sendsResults(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want mapiter
+	}
+}
+
+// Floating-point addition is not associative: summing in map order changes
+// the low bits run to run.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want mapiter
+	}
+	return sum
+}
+
+func concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want mapiter
+	}
+	return s
+}

@@ -1,0 +1,10 @@
+package mapiter
+
+func dedupInput(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		//starklint:ignore mapiter fixture: consumer deduplicates into a set, order immaterial
+		out = append(out, k)
+	}
+	return out
+}

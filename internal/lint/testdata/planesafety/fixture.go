@@ -1,0 +1,27 @@
+// Package planesafety models the two-clock engine shape the analyzer keys
+// on: an Engine holding cluster/storage/stats state, and a planeCtx whose
+// methods (and any function threading a *planeCtx) form the data plane.
+package planesafety
+
+type Stats struct{ CacheHits int64 }
+
+type Cluster struct{}
+
+func (c *Cluster) CachePut(id int)  {}
+func (c *Cluster) CacheGet(id int)  {}
+func (c *Cluster) CachePeek(id int) {}
+
+type Engine struct {
+	cl    *Cluster
+	stats Stats
+}
+
+func (e *Engine) wakeTasks(id int) {}
+func (e *Engine) trace(msg string) {}
+func (e *Engine) schedule()        {}
+
+type planeCtx struct {
+	e         *Engine
+	immediate bool
+	hits      int64
+}

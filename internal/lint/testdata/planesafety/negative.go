@@ -1,0 +1,25 @@
+package planesafety
+
+// The immediate-mode guard is the one sanctioned synchronous path: it only
+// runs on the event-loop goroutine.
+func (px *planeCtx) putGood(id int) {
+	if px.immediate {
+		px.e.cl.CachePut(id)
+		px.e.stats.CacheHits++
+		px.e.wakeTasks(id)
+		return
+	}
+	px.hits++
+}
+
+// Read-side accessors are legal from the data plane.
+func (px *planeCtx) peek(id int) {
+	px.e.cl.CachePeek(id)
+}
+
+// Control-plane code (no planeCtx in sight) mutates freely.
+func (e *Engine) join(id int) {
+	e.cl.CachePut(id)
+	e.stats.CacheHits++
+	e.schedule()
+}

@@ -1,0 +1,20 @@
+package planesafety
+
+// A planeCtx method mutating control-plane state directly: every one of
+// these must buffer in the context and replay at join.
+func (px *planeCtx) putBad(id int) {
+	px.e.cl.CachePut(id)   // want planesafety
+	px.e.stats.CacheHits++ // want planesafety
+	px.e.wakeTasks(id)     // want planesafety
+}
+
+// runPlane is data-plane by name even where the context arrives indirectly.
+func runPlane(e *Engine, id int) {
+	e.cl.CacheGet(id) // want planesafety
+	e.schedule()      // want planesafety
+}
+
+// Threading a *planeCtx parameter marks a helper as data-plane.
+func helper(px *planeCtx) {
+	px.e.trace("x") // want planesafety
+}

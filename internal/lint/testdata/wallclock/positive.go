@@ -1,0 +1,17 @@
+package wallclock
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()             // want wallclock
+	time.Sleep(time.Millisecond) // want wallclock
+	return time.Since(t0)        // want wallclock
+}
+
+// Value uses smuggle the clock in through indirection; they are banned too.
+var nowFn = time.Now // want wallclock
+
+func ticks() {
+	<-time.After(time.Second)       // want wallclock
+	_ = time.NewTicker(time.Second) // want wallclock
+}

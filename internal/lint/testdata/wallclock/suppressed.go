@@ -1,0 +1,10 @@
+package wallclock
+
+import "time"
+
+func timed() int64 {
+	t0 := time.Now() //starklint:ignore wallclock fixture: benchmark timing is intentionally wall-clock
+	//starklint:ignore wallclock fixture: own-line directive covers the next line
+	ns := time.Since(t0).Nanoseconds()
+	return ns
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned lists the package time functions that read or schedule
+// against the host's wall clock. time.Duration arithmetic and constants
+// stay legal: the engine models durations, it must never observe real ones.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallclockAnalyzer enforces the virtual-clock contract: deterministic
+// packages schedule exclusively on vtime.Loop, so any wall-clock read is a
+// reproduction bug waiting to surface as a cross-parallelism diff. It flags
+// every reference (call or value use) to a banned time function, so
+// indirection like `now := time.Now` cannot smuggle the clock in.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "bans wall-clock reads (time.Now/Since/Sleep/...) in deterministic packages",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	if !pass.Config.DeterministicPkg(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || !wallclockBanned[sel.Sel.Name] {
+				return true
+			}
+			if isPkgFunc(obj, "time", sel.Sel.Name) {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic code must use the virtual clock (vtime.Loop)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
