@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos chaos-nightly bench bench-json bench-engine examples experiments clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-nightly bench bench-json bench-engine examples experiments clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus starklint, the repo's determinism/purity/
+# plane-isolation analyzers (see DESIGN.md section 11). Gate for every
+# bench target so BENCH_* numbers never come off a dirty tree.
+lint: vet
+	$(GO) run ./cmd/starklint ./...
 
 test:
 	$(GO) test ./...
@@ -27,17 +33,17 @@ chaos:
 chaos-nightly:
 	$(GO) run ./cmd/starkbench -experiment chaos -nightly -dump-faults
 
-bench:
+bench: lint
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Engine/record hot-path benchmarks (GroupByKeySorted, bucketing, the
 # parallel data plane's 1-vs-4 worker pair).
-bench-engine:
+bench-engine: lint
 	$(GO) test -bench=. -benchmem -benchtime=3x ./internal/engine/ ./internal/record/
 
 # Machine-readable parallel-data-plane measurements (wall-clock speedup,
 # virtual-time identity, allocation micros) -> BENCH_3.json.
-bench-json:
+bench-json: lint
 	$(GO) run ./cmd/starkbench -bench-json BENCH_3.json
 
 examples:
