@@ -27,11 +27,15 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# SEEDS overrides the chaos profile's fault-schedule count; 0 keeps the
+# profile default (30 for chaos, 120 for chaos-nightly).
+SEEDS ?= 0
+
 chaos:
-	$(GO) run ./cmd/starkbench -experiment chaos
+	$(GO) run ./cmd/starkbench -experiment chaos -seeds $(SEEDS)
 
 chaos-nightly:
-	$(GO) run ./cmd/starkbench -experiment chaos -nightly -dump-faults
+	$(GO) run ./cmd/starkbench -experiment chaos -nightly -dump-faults -seeds $(SEEDS)
 
 bench: lint
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -32,10 +32,12 @@ var tsvOut bool
 
 // nightly (-nightly) deepens the chaos sweep for the scheduled CI profile;
 // dumpFaults (-dump-faults) prints every armed fault schedule (kind,
-// virtual time, target) before each chaos seed runs.
+// virtual time, target) before each chaos seed runs; chaosSeeds (-seeds)
+// overrides the selected profile's fault-schedule count (0 keeps it).
 var (
 	nightly    bool
 	dumpFaults bool
+	chaosSeeds int
 )
 
 // runBenchJSON runs the deterministic-parallel-data-plane benchmark suite
@@ -190,6 +192,9 @@ func experimentsList() []experiment {
 				cfg.Seeds = 20
 				cfg.Steps = 4
 			}
+			if chaosSeeds > 0 {
+				cfg.Seeds = chaosSeeds
+			}
 			if dumpFaults {
 				cfg.DumpFaults = os.Stdout
 			}
@@ -246,6 +251,7 @@ func main() {
 		tsv       = flag.Bool("tsv", false, "emit machine-readable TSV where the figure has series data")
 		night     = flag.Bool("nightly", false, "deepen the chaos sweep (scheduled CI profile)")
 		dumpF     = flag.Bool("dump-faults", false, "print each chaos seed's armed fault schedule before it runs")
+		seeds     = flag.Int("seeds", 0, "override the chaos profile's fault-schedule count (0 keeps the profile default)")
 		benchJSON = flag.String("bench-json", "",
 			"measure the parallel data plane (wall-clock 1-vs-N arms, hot-path micros) and write JSON to this path")
 		benchCores = flag.Int("bench-cores", 4, "worker-pool size of the parallel bench arm")
@@ -254,6 +260,7 @@ func main() {
 	tsvOut = *tsv
 	nightly = *night
 	dumpFaults = *dumpF
+	chaosSeeds = *seeds
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *quick, *benchCores); err != nil {
 			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)

@@ -40,6 +40,13 @@ type NetDelayFault = fault.NetDelay
 // through lineage.
 type BlockCorruptFault = fault.BlockCorrupt
 
+// DriverCrashFault crashes the driver process itself at a virtual time,
+// discarding all volatile driver state (and optionally tearing TearTail
+// bytes off the write-ahead journal, a crash mid-append), then restarts it
+// RestartAfter later; the restarted driver replays the journal and resumes.
+// Requires WithDriverRecovery.
+type DriverCrashFault = fault.DriverCrash
+
 // NetworkConfig parameterizes the simulated control network: base one-way
 // delay, deterministic jitter, a random message-drop probability, and the
 // retransmission policy for reliable messages. The zero value is a perfect
@@ -131,6 +138,28 @@ func WithHeartbeat(interval, suspectAfter, deadAfter time.Duration) Option {
 			DeadAfter:    deadAfter,
 		}
 	}
+}
+
+// WithDriverRecovery makes the driver itself a recoverable fault domain: a
+// write-ahead journal records every commit point (namespace registrations,
+// group splits and merges, map-output commits, checkpoint completions, job
+// lifecycle, blacklist transitions, stream window movement), and a
+// DriverCrashFault can kill the driver mid-run — the restarted driver
+// replays the journal, re-handshakes the executors under a new incarnation,
+// and resumes every in-flight job from its last committed stage.
+func WithDriverRecovery() Option {
+	return func(c *engine.Config) { c.DriverRecovery = true }
+}
+
+// ValidateConfig checks an option set for configuration errors (e.g. a
+// heartbeat suspicion timeout at or above the death timeout) without
+// building a cluster. NewContext panics on the same errors.
+func ValidateConfig(opts ...Option) error {
+	cfg := engine.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return engine.Validate(cfg)
 }
 
 // RecoveryStats reports the engine's fault-handling counters and measured

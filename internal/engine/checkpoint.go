@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stark/internal/checkpoint"
+	"stark/internal/journal"
 	"stark/internal/rdd"
 )
 
@@ -73,6 +74,7 @@ func (e *Engine) ForceCheckpoint(r *rdd.RDD) {
 		}
 	}
 	r.Checkpointed = true
+	e.journalAppend(journal.Record{Kind: journal.KindCheckpoint, A: int64(r.ID)})
 	e.trace("checkpoint", -1, -1, -1, -1, r.String())
 }
 

@@ -56,7 +56,7 @@ func (e *Engine) ExecutorView(id int) string { return e.execView[id].String() }
 // every executor the driver does not consider dead, so idle gaps between
 // jobs never count as missed heartbeats.
 func (e *Engine) ensureHeartbeats() {
-	if !e.hb.Enabled || e.activeJobs <= 0 {
+	if !e.hb.Enabled || e.activeJobs <= 0 || e.driverDown {
 		return
 	}
 	if !e.detectorArmed {
@@ -99,7 +99,9 @@ func (e *Engine) beat(id int) {
 
 // detect is the driver's periodic missed-heartbeat scan.
 func (e *Engine) detect() {
-	if e.activeJobs <= 0 {
+	if e.activeJobs <= 0 || e.driverDown {
+		// A crashed driver cannot scan; RestartDriver resets heartbeat ages
+		// and re-arms the detector.
 		e.detectorArmed = false
 		return
 	}
@@ -157,6 +159,9 @@ func (e *Engine) declareDead(id int) {
 // liveness age, clear suspicion, rejoin declared-dead executors, and catch
 // restarts that happened under the radar via the incarnation number.
 func (e *Engine) onHeartbeat(id, incarnation int) {
+	if e.driverDown {
+		return // nobody home; the restart handshake resyncs incarnations
+	}
 	if incarnation != e.incSeen[id] {
 		e.incSeen[id] = incarnation
 		e.observeRestart(id)

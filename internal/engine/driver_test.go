@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"stark/internal/fault"
+	"stark/internal/partition"
+	"stark/internal/record"
+)
+
+// driverTestConfig is testConfig with the driver fault domain armed.
+func driverTestConfig() Config {
+	cfg := testConfig()
+	cfg.DriverRecovery = true
+	return cfg
+}
+
+// TestDriverCrashRestartResumesJob: the driver crashes mid-job (tearing a
+// few bytes off the journal) and restarts shortly after; the job completes
+// with exactly the fault-free result and the recovery counters record one
+// crash, one restart, and a replayed journal.
+func TestDriverCrashRestartResumesJob(t *testing.T) {
+	// Fault-free baseline fixes the expected result and the virtual makespan.
+	base := New(driverTestConfig())
+	g := base.Graph()
+	src := g.Source("src", dataset(400, 8), true)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(8))
+	want, m, err := base.Collect(pb)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	horizon := m.Finished
+	if horizon <= 0 {
+		t.Fatal("baseline produced no makespan")
+	}
+
+	for _, tear := range []int{0, 7, 512} {
+		cfg := driverTestConfig()
+		cfg.Faults = fault.Schedule{DriverCrashes: []fault.DriverCrash{{
+			At:           horizon / 3,
+			RestartAfter: 2 * time.Millisecond,
+			TearTail:     tear,
+		}}}
+		e := New(cfg)
+		g := e.Graph()
+		src := g.Source("src", dataset(400, 8), true)
+		pb := g.PartitionBy(src, "pb", partition.NewHash(8))
+		got, _, err := e.Collect(pb)
+		if err != nil {
+			t.Fatalf("tear %d: crashed run: %v", tear, err)
+		}
+		sortRecs(got)
+		sortRecs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tear %d: crashed-run result diverged from fault-free baseline", tear)
+		}
+		rec := e.Recovery()
+		if rec.DriverCrashes != 1 || rec.DriverRestarts != 1 {
+			t.Fatalf("tear %d: crash/restart = %d/%d, want 1/1", tear, rec.DriverCrashes, rec.DriverRestarts)
+		}
+		if tear > 0 && rec.JournalTornTails == 0 && rec.JournalRecordsReplayed > 0 {
+			// A tear smaller than the journal suffix written by crash time
+			// must be detected; a tear of 0 must not be.
+			t.Fatalf("tear %d: no torn tail recorded (replayed=%d)", tear, rec.JournalRecordsReplayed)
+		}
+		if len(rec.RecoveryDelays) == 0 {
+			t.Fatalf("tear %d: driver restart recorded no recovery delay", tear)
+		}
+	}
+}
+
+// TestDriverRestartIsDeterministic: two engines under the identical crash
+// schedule produce byte-identical results and identical journal lengths.
+func TestDriverRestartIsDeterministic(t *testing.T) {
+	run := func() ([]record.Record, int) {
+		cfg := driverTestConfig()
+		cfg.Faults = fault.Schedule{DriverCrashes: []fault.DriverCrash{{
+			At: 10 * time.Millisecond, RestartAfter: time.Millisecond, TearTail: 9,
+		}}}
+		e := New(cfg)
+		g := e.Graph()
+		src := g.Source("src", dataset(300, 6), true)
+		pb := g.PartitionBy(src, "pb", partition.NewHash(6))
+		out, _, err := e.Collect(pb)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		sortRecs(out)
+		return out, e.JournalLen()
+	}
+	a, alen := run()
+	b, blen := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical crash schedules produced different results")
+	}
+	if alen != blen {
+		t.Fatalf("journal lengths diverged: %d vs %d", alen, blen)
+	}
+}
+
+// TestDriverCrashBuffersSubmissions: a job submitted while the driver is
+// down waits out the downtime and completes after the restart.
+func TestDriverCrashBuffersSubmissions(t *testing.T) {
+	e := New(driverTestConfig())
+	g := e.Graph()
+	src := g.Source("src", dataset(200, 4), true)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(4))
+
+	e.Loop().At(time.Millisecond, func() { e.CrashDriver(0) })
+	e.Loop().At(5*time.Millisecond, func() { e.RestartDriver() })
+	var n int64
+	done := false
+	e.Loop().At(2*time.Millisecond, func() {
+		// The driver is down right now: the submission must buffer, not run.
+		e.SubmitJob(pb, ActionCount, func(r JobResult) {
+			n = r.Count
+			done = true
+		})
+		if !e.DriverDown() {
+			t.Error("driver expected down at submit time")
+		}
+	})
+	e.Loop().Run()
+	if !done {
+		t.Fatal("buffered job never completed after restart")
+	}
+	if n != 200 {
+		t.Fatalf("count = %d, want 200", n)
+	}
+	if rec := e.Recovery(); rec.DriverRestarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rec.DriverRestarts)
+	}
+}
+
+// TestDriverRecoveryRebuildsNamespace: a crash wipes the LocalityManager and
+// GroupManager; replay re-registers the namespace (partitioner re-supplied
+// from the surviving client reference) and the block re-registration sweep
+// re-admits the surviving executor caches, so post-restart jobs still
+// schedule NODE_LOCAL on the cached copies.
+func TestDriverRecoveryRebuildsNamespace(t *testing.T) {
+	cfg := driverTestConfig()
+	cfg.Features.CoLocality = true
+	e := New(cfg)
+	g := e.Graph()
+	p := partition.NewHash(8)
+	if err := e.RegisterNamespace("ns", p, 1); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	src := g.Source("src", dataset(400, 8), true)
+	pb := g.LocalityPartitionBy(src, "pb", p, "ns")
+	pb.CacheFlag = true
+	e.TrackNamespaceRDD(pb)
+	if _, err := e.Materialize(pb); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+
+	e.CrashDriver(0)
+	e.RestartDriver()
+	e.Loop().Run()
+
+	// The namespace must be live again with replicas on the executors that
+	// still cache its blocks.
+	n, jm, err := e.Count(pb)
+	if err != nil {
+		t.Fatalf("post-restart count: %v", err)
+	}
+	if n != 400 {
+		t.Fatalf("post-restart count = %d, want 400", n)
+	}
+	if jm.LocalityFraction() == 0 {
+		t.Fatal("post-restart job ran with zero NODE_LOCAL tasks: cache sweep failed")
+	}
+}
+
+// TestCrashDriverWithoutRecoveryPanics: arming a driver crash without
+// WithDriverRecovery is a configuration error surfaced loudly.
+func TestCrashDriverWithoutRecoveryPanics(t *testing.T) {
+	e := New(testConfig())
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("CrashDriver on a journal-less engine did not panic")
+		}
+		if !strings.Contains(p.(string), "WithDriverRecovery") {
+			t.Fatalf("panic %q does not name the missing option", p)
+		}
+	}()
+	e.CrashDriver(0)
+}
+
+// TestHeartbeatValidation: a user-supplied death timeout at or below the
+// suspicion timeout is a configuration error from Validate and a panic from
+// New; omitted timeouts still default.
+func TestHeartbeatValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Heartbeat.Enabled = true
+	cfg.Heartbeat.Interval = 10 * time.Millisecond
+	cfg.Heartbeat.SuspectAfter = 30 * time.Millisecond
+	cfg.Heartbeat.DeadAfter = 30 * time.Millisecond // == SuspectAfter: invalid
+	if err := Validate(cfg); err == nil {
+		t.Fatal("Validate accepted DeadAfter == SuspectAfter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New accepted DeadAfter == SuspectAfter")
+			}
+		}()
+		New(cfg)
+	}()
+
+	cfg.Heartbeat.DeadAfter = 0 // defaulted: valid
+	if err := Validate(cfg); err != nil {
+		t.Fatalf("Validate rejected defaulted DeadAfter: %v", err)
+	}
+	cfg.Heartbeat.DeadAfter = 90 * time.Millisecond
+	if err := Validate(cfg); err != nil {
+		t.Fatalf("Validate rejected DeadAfter > SuspectAfter: %v", err)
+	}
+}
+
+func sortRecs(rs []record.Record) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Key != rs[b].Key {
+			return rs[a].Key < rs[b].Key
+		}
+		va, _ := rs[a].Value.(int64)
+		vb, _ := rs[b].Value.(int64)
+		return va < vb
+	})
+}

@@ -20,8 +20,10 @@ import (
 	"stark/internal/config"
 	"stark/internal/fault"
 	"stark/internal/group"
+	"stark/internal/journal"
 	"stark/internal/locality"
 	"stark/internal/metrics"
+	"stark/internal/partition"
 	netsim "stark/internal/net"
 	"stark/internal/rdd"
 	"stark/internal/record"
@@ -92,6 +94,11 @@ type Config struct {
 	// Execution sizes the wall-clock data-plane worker pool; it never
 	// affects simulation results, only how fast they are produced.
 	Execution config.Execution
+	// DriverRecovery enables the driver fault domain: the engine appends a
+	// write-ahead journal at every commit point and can crash-restart the
+	// driver (fault.DriverCrash), replaying the journal to rebuild its
+	// control-plane state (driver.go).
+	DriverRecovery bool
 }
 
 // DefaultConfig mirrors stock Spark: no Stark features enabled.
@@ -204,6 +211,24 @@ type Engine struct {
 	execEpoch     []int
 	incSeen       []int
 
+	// Driver fault domain (driver.go): the write-ahead journal (nil unless
+	// DriverRecovery), whether the driver is currently crashed, the driver
+	// generation (bumped per crash, invalidating pre-crash timer closures),
+	// journal appends and job submissions buffered during downtime, the
+	// client-held job handles and namespace partitioners re-attached at
+	// restart, the replayed stream step tables, restart hooks, and the open
+	// recovery epoch spanning crash through first resumed completions.
+	jrn            *journal.Log
+	driverDown     bool
+	driverGen      int
+	pendingJrn     []journal.Record
+	pendingJobs    []*job
+	jobTab         map[int]*job
+	nsPartitioners map[string]partition.Partitioner
+	streamSteps    map[string]map[int]int
+	restartHooks   []func()
+	resumeEpoch    *recoveryEpoch
+
 	// Data-plane batching (plane.go): tasks dispatched during an event
 	// accumulate in batch and execute at the event boundary on up to par
 	// workers; draining guards against re-entrant drains.
@@ -226,7 +251,9 @@ func New(cfg Config) *Engine {
 		cfg.Checkpoint.SerializationRatio = 0.4
 	}
 	normalizeRecovery(&cfg.Recovery)
-	normalizeHeartbeat(&cfg.Heartbeat)
+	if err := normalizeHeartbeat(&cfg.Heartbeat); err != nil {
+		panic(err) // misconfiguration; Validate offers the error-returning path
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
@@ -273,6 +300,12 @@ func New(cfg Config) *Engine {
 	for i := 0; i < n; i++ {
 		e.incSeen[i] = e.cl.Executor(i).Incarnation()
 	}
+	if cfg.DriverRecovery {
+		e.jrn = &journal.Log{}
+		e.jobTab = make(map[int]*job)
+		e.nsPartitioners = make(map[string]partition.Partitioner)
+		e.streamSteps = make(map[string]map[int]int)
+	}
 	if !cfg.Faults.Empty() {
 		e.inj = fault.New(cfg.Faults)
 		e.store.SetFaultHook(func(op storage.Op) error { return e.inj.StorageOp(string(op)) })
@@ -283,10 +316,13 @@ func New(cfg Config) *Engine {
 }
 
 // normalizeHeartbeat fills zero timeouts with defaults and enforces
-// Interval <= SuspectAfter < DeadAfter.
-func normalizeHeartbeat(hb *config.Heartbeat) {
+// Interval <= SuspectAfter < DeadAfter. A user-supplied death timeout at or
+// below the (possibly defaulted) suspicion timeout is a configuration
+// error: executors would be declared dead without ever passing through the
+// suspected state, which silently disables the suspicion machinery.
+func normalizeHeartbeat(hb *config.Heartbeat) error {
 	if !hb.Enabled {
-		return
+		return nil
 	}
 	d := config.DefaultHeartbeat()
 	if hb.Interval <= 0 {
@@ -298,9 +334,24 @@ func normalizeHeartbeat(hb *config.Heartbeat) {
 	if hb.SuspectAfter < hb.Interval {
 		hb.SuspectAfter = hb.Interval
 	}
-	if hb.DeadAfter <= hb.SuspectAfter {
+	if hb.DeadAfter < 0 {
+		hb.DeadAfter = 0
+	}
+	if hb.DeadAfter > 0 && hb.DeadAfter <= hb.SuspectAfter {
+		return fmt.Errorf("engine: heartbeat DeadAfter (%v) must exceed SuspectAfter (%v): executors would skip suspicion and be declared dead outright",
+			hb.DeadAfter, hb.SuspectAfter)
+	}
+	if hb.DeadAfter == 0 {
 		hb.DeadAfter = 2*hb.SuspectAfter + hb.Interval
 	}
+	return nil
+}
+
+// Validate reports whether the configuration would be rejected by New
+// without constructing an engine — the error-returning alternative to New's
+// panic-on-misconfiguration contract.
+func Validate(cfg Config) error {
+	return normalizeHeartbeat(&cfg.Heartbeat)
 }
 
 // normalizeRecovery fills zero-valued policy fields with defaults;
@@ -454,7 +505,9 @@ type task struct {
 }
 
 // SubmitJob enqueues an action on final at the current virtual time; cb
-// fires on completion. Use RunJob for the synchronous version.
+// fires on completion. Use RunJob for the synchronous version. While the
+// driver is crashed the submission is accepted (the client holds a valid
+// handle) but buffered; it starts when the driver restarts.
 func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) int {
 	j := &job{
 		id:        e.jobSeq,
@@ -466,8 +519,23 @@ func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) in
 	}
 	e.jobSeq++
 	e.activeJobs++
+	if e.driverDown {
+		e.pendingJobs = append(e.pendingJobs, j)
+		return j.id
+	}
+	e.journalJobSubmit(j)
+	e.startJob(j)
+	// A submission from outside the event loop has no post-step boundary;
+	// drain the dispatched work now (no-op when called from inside an event).
+	e.drainBatch()
+	return j.id
+}
+
+// startJob builds a job's stage runs and kicks scheduling. The restart path
+// reuses it to resubmit journaled in-flight jobs with fresh stage state.
+func (e *Engine) startJob(j *job) {
 	e.ensureHeartbeats()
-	result := sched.Build(final)
+	result := sched.Build(j.final)
 	for _, st := range sched.AllStages(result) {
 		sr := &stageRun{st: st, job: j}
 		j.stages = append(j.stages, sr)
@@ -475,15 +543,11 @@ func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) in
 			j.resultSR = sr
 		}
 	}
-	e.trace("job-submit", j.id, -1, -1, -1, fmt.Sprintf("final=%s action=%d stages=%d", final.Name, action, len(j.stages)))
+	e.trace("job-submit", j.id, -1, -1, -1, fmt.Sprintf("final=%s action=%d stages=%d", j.final.Name, j.action, len(j.stages)))
 	for _, sr := range j.stages {
 		e.maybeStartStage(sr)
 	}
 	e.schedule()
-	// A submission from outside the event loop has no post-step boundary;
-	// drain the dispatched work now (no-op when called from inside an event).
-	e.drainBatch()
-	return j.id
 }
 
 // SubmitJobAt schedules a job submission at a future virtual time.
@@ -550,6 +614,11 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 	if sr.st.ShuffleMap {
 		if e.store.ShuffleComplete(sr.st.ShuffleID) {
 			// Outputs persist from an earlier job: skip the stage wholesale.
+			// The producer stage still registers so a later fetch failure on
+			// the skipped shuffle can rebuild it (without this, a restarted
+			// driver resuming from committed outputs would have no producer
+			// on record and block loss would fail the job).
+			e.registerShuffleStage(sr.st)
 			sr.started = true
 			sr.runsShuffle = true
 			sr.remaining = 0
@@ -623,6 +692,13 @@ func (e *Engine) enqueueSpecs(sr *stageRun, specs []taskSpec, prefCap bool) {
 			StageID:   sr.st.ID,
 			TaskID:    t.id,
 			Submitted: t.submitted,
+		}
+		if e.resumeEpoch != nil {
+			// Work created inside the driver-restart resubmission window
+			// counts toward the crash's recovery epoch: the measured delay
+			// closes when every such task has succeeded.
+			t.epoch = e.resumeEpoch
+			e.resumeEpoch.pending++
 		}
 		e.enqueue(t)
 	}
@@ -784,6 +860,7 @@ func (e *Engine) finishJob(j *job) {
 	j.done = true
 	e.activeJobs--
 	e.stats.Jobs++
+	e.journalJobComplete(j)
 	jm := metrics.JobMetrics{
 		JobID:     j.id,
 		Submitted: j.submitted,

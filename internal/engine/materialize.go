@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stark/internal/cluster"
+	"stark/internal/journal"
 	"stark/internal/rdd"
 	"stark/internal/record"
 	"stark/internal/storage"
@@ -196,6 +197,8 @@ func (e *Engine) commitMapOutputs(t *task) error {
 		if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
 			return fmt.Errorf("%w: map output write shuffle %d part %d: %w", ErrStorage, st.ShuffleID, p, err)
 		}
+		e.journalAppend(journal.Record{Kind: journal.KindMapOutput,
+			A: int64(st.ShuffleID), B: int64(p), C: int64(st.Output.Parts), D: int64(st.Consumer.Parts)})
 	}
 	t.mapOut = nil
 	return nil

@@ -5,6 +5,7 @@ import (
 
 	"stark/internal/cluster"
 	"stark/internal/group"
+	"stark/internal/journal"
 	"stark/internal/partition"
 	"stark/internal/rdd"
 	"stark/internal/replication"
@@ -23,29 +24,20 @@ func (e *Engine) RegisterNamespace(ns string, p partition.Partitioner, initialGr
 		// the same application code runs under every configuration.
 		return nil
 	}
-	numParts := p.NumPartitions()
-	var units []int
-	if e.cfg.Features.Extendable {
-		if err := e.grp.Register(ns, numParts, initialGroups); err != nil {
-			return err
-		}
-		groups, err := e.grp.Groups(ns)
-		if err != nil {
-			return err
-		}
-		for _, g := range groups {
-			units = append(units, g.ID)
-		}
-	} else {
-		units = make([]int, numParts)
-		for i := range units {
-			units[i] = i
-		}
-	}
-	if err := e.loc.Register(ns, p, units, e.cl.AliveExecutors()); err != nil {
+	_, known := e.nsParts[ns]
+	if err := e.registerNamespace(ns, p, initialGroups); err != nil {
 		return err
 	}
-	e.nsParts[ns] = numParts
+	if e.jrn != nil {
+		// The partitioner is a client-side object: it cannot be serialized,
+		// so the journal records the registration and the application's
+		// re-registration call (or this retained reference) re-supplies the
+		// closure at replay time.
+		e.nsPartitioners[ns] = p
+		if !known {
+			e.journalAppend(journal.Record{Kind: journal.KindNamespace, S: ns, A: int64(initialGroups)})
+		}
+	}
 	return nil
 }
 
@@ -56,12 +48,24 @@ func (e *Engine) TrackNamespaceRDD(r *rdd.RDD) {
 	if r.Namespace == "" {
 		return
 	}
+	if e.trackNamespaceRDD(r) {
+		e.journalAppend(journal.Record{Kind: journal.KindRDDTrack, S: r.Namespace, A: int64(r.ID)})
+	}
+}
+
+// trackNamespaceRDD is the journal-free core of TrackNamespaceRDD; it
+// reports whether the RDD was newly tracked.
+func (e *Engine) trackNamespaceRDD(r *rdd.RDD) bool {
+	if r.Namespace == "" {
+		return false
+	}
 	for _, existing := range e.nsRDDs[r.Namespace] {
 		if existing.ID == r.ID {
-			return
+			return false
 		}
 	}
 	e.nsRDDs[r.Namespace] = append(e.nsRDDs[r.Namespace], r)
+	return true
 }
 
 // ReportRDD feeds a materialized RDD's partition sizes to the GroupManager
@@ -93,10 +97,14 @@ func (e *Engine) ReportRDD(r *rdd.RDD) ([]group.Change, error) {
 			if err := e.loc.ApplySplit(ns, ch.Before[0].ID, ch.After[0].ID, ch.After[1].ID, newExec); err != nil {
 				return changes, err
 			}
+			e.journalAppend(journal.Record{Kind: journal.KindGroupSplit, S: ns,
+				A: int64(ch.Before[0].ID), B: int64(ch.After[0].ID), C: int64(ch.After[1].ID), D: int64(newExec)})
 		case group.ChangeMerge:
 			if err := e.loc.ApplyMerge(ns, ch.Before[0].ID, ch.Before[1].ID, ch.After[0].ID); err != nil {
 				return changes, err
 			}
+			e.journalAppend(journal.Record{Kind: journal.KindGroupMerge, S: ns,
+				A: int64(ch.Before[0].ID), B: int64(ch.Before[1].ID), C: int64(ch.After[0].ID)})
 		}
 	}
 	return changes, nil

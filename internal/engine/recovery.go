@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"stark/internal/journal"
 	"stark/internal/metrics"
 	"stark/internal/sched"
 )
@@ -158,8 +159,11 @@ func (e *Engine) onTaskFailure(t *task) {
 	clone := e.cloneTask(t, t.attempt+1)
 	e.trace("task-retry", t.sr.job.id, t.sr.st.ID, clone.id, -1,
 		fmt.Sprintf("of=%d attempt=%d backoff=%v", t.id, clone.attempt, backoff))
+	gen := e.driverGen
 	e.loop.After(backoff, func() {
-		if clone.sr.job.done {
+		if clone.sr.job.done || gen != e.driverGen {
+			// A driver crash between scheduling and firing voided the retry:
+			// the restarted driver resubmits the whole job from the journal.
 			return
 		}
 		clone.submitted = e.loop.Now()
@@ -192,6 +196,7 @@ func (e *Engine) noteExecutorFailure(exec int) {
 	e.blacklistUntil[exec] = until
 	e.rec.ExecutorBlacklists++
 	e.recMu.Unlock()
+	e.journalAppend(journal.Record{Kind: journal.KindBlacklist, A: int64(exec), B: int64(until)})
 	e.trace("executor-blacklist", -1, -1, -1, exec,
 		fmt.Sprintf("failures=%d until=%v", e.execFailures[exec], until))
 	// Re-run scheduling when the window expires so probation can begin.
@@ -211,6 +216,7 @@ func (e *Engine) noteExecutorSuccess(exec int) {
 		delete(e.blacklistUntil, exec)
 		e.rec.ExecutorUnblacklists++
 		e.recMu.Unlock()
+		e.journalAppend(journal.Record{Kind: journal.KindUnblacklist, A: int64(exec)})
 		e.trace("executor-unblacklist", -1, -1, -1, exec, "")
 	}
 }

@@ -18,6 +18,9 @@ import (
 // ordered by Minimum-Contention-First when enabled (paper Algorithm 1).
 // Tasks still waiting arm a timer so the round re-runs at wait expiry.
 func (e *Engine) schedule() {
+	if e.driverDown {
+		return
+	}
 	for {
 		free := e.freeSlots()
 		if free == 0 {
@@ -381,6 +384,14 @@ func (e *Engine) taskDone(t *task) {
 // first, then map-output commit, metrics, replica bookkeeping, and stage
 // countdown. Failed attempts divert to the recovery plane.
 func (e *Engine) onTaskResult(t *task) {
+	if e.driverDown {
+		// The result arrived at a crashed driver: nobody is listening. The
+		// executor-side commit already happened (slot freed); the restarted
+		// driver re-learns outcomes by resubmitting from the journal, and
+		// anything this task would have committed is fenced by the new
+		// incarnation's epochs.
+		return
+	}
 	delete(e.running, t.id)
 	if t.aborted || t.fence != e.execEpoch[t.exec] {
 		if t.fence != e.execEpoch[t.exec] {
@@ -388,6 +399,10 @@ func (e *Engine) onTaskResult(t *task) {
 			e.trace("stale-result", t.sr.job.id, t.sr.st.ID, t.id, t.exec,
 				fmt.Sprintf("fence=%d epoch=%d", t.fence, e.execEpoch[t.exec]))
 		}
+		// The fenced attempt's slot freed executor-side at completion; after
+		// a driver restart the resubmitted stages may be waiting on exactly
+		// that capacity, so re-offer it now.
+		e.schedule()
 		return
 	}
 	t.tm.Finished = e.loop.Now()
@@ -491,6 +506,12 @@ func (e *Engine) KillExecutor(id int) {
 		t.lost = true
 		t.slotHeld = false
 	}
+	if e.driverDown {
+		// The driver is down too: no reaction now. The restart sweep
+		// excludes the dead executor via liveness checks, and journal-driven
+		// resubmission re-covers its lost work.
+		return
+	}
 	if e.hb.Enabled {
 		return
 	}
@@ -551,6 +572,11 @@ func (e *Engine) resubmitLostTasks(id int, epochStart time.Duration) {
 func (e *Engine) RestartExecutor(id int) {
 	e.trace("executor-restart", -1, -1, -1, id, "")
 	e.cl.Restart(id)
+	if e.driverDown {
+		// The fresh process comes up while the driver is down; the restart
+		// handshake (RestartDriver) records its incarnation.
+		return
+	}
 	if e.hb.Enabled {
 		e.armBeat(id)
 		e.ensureHeartbeats()

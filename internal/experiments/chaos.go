@@ -29,6 +29,12 @@ type ChaosConfig struct {
 	Steps     int           // query jobs after the build job
 	Bound     time.Duration // recovery delay bound r (also the checkpoint bound)
 
+	// StreamSteps sizes the stream-continuity sweep: a windowed stream
+	// ingests this many timesteps under driver-crash-only schedules, and the
+	// surviving window's contents must be bit-identical to the fault-free
+	// stream oracle. 0 disables the sweep.
+	StreamSteps int
+
 	// DumpFaults, when non-nil, receives every seed's armed fault schedule
 	// (kind, virtual time, target) before that seed runs.
 	DumpFaults io.Writer
@@ -38,13 +44,14 @@ type ChaosConfig struct {
 // fast enough for CI.
 func DefaultChaos() ChaosConfig {
 	return ChaosConfig{
-		Seeds:     30,
-		Executors: 6,
-		Slots:     2,
-		Parts:     12,
-		Records:   4000,
-		Steps:     6,
-		Bound:     5 * time.Second,
+		Seeds:       30,
+		Executors:   6,
+		Slots:       2,
+		Parts:       12,
+		Records:     4000,
+		Steps:       6,
+		StreamSteps: 6,
+		Bound:       5 * time.Second,
 	}
 }
 
@@ -94,6 +101,14 @@ type ChaosResult struct {
 	CorruptReads int // corrupt blocks detected by checksum on read
 	MaxDetect    time.Duration
 
+	// Driver fault-domain aggregates (both sweeps).
+	DriverCrashes   int
+	DriverRestarts  int
+	JournalReplayed int // journal records replayed across all restarts
+	JournalTorn     int // torn journal tails truncated during replay
+
+	StreamOracle string // fault-free stream-window fingerprint
+
 	MaxDelay time.Duration // largest recovery delay seen over all seeds
 	Horizon  time.Duration // fault window (the oracle's virtual makespan)
 }
@@ -131,6 +146,9 @@ func chaosWorkload(cfg ChaosConfig, opts ...stark.Option) (run chaosRun) {
 			Jitter:    300 * time.Microsecond,
 		}),
 		stark.WithHeartbeat(40*time.Millisecond, 120*time.Millisecond, 300*time.Millisecond),
+		// The driver itself is a fault domain: every run — oracle included —
+		// journals its commit points so seeded driver crashes can replay.
+		stark.WithDriverRecovery(),
 	}
 	ctx := stark.NewContext(append(base, opts...)...)
 	defer func() {
@@ -201,7 +219,8 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 
 	for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
 		sched := stark.RandomFaultSchedule(seed, res.Horizon, cfg.Executors).
-			WithNetFaults(seed, res.Horizon, cfg.Executors)
+			WithNetFaults(seed, res.Horizon, cfg.Executors).
+			WithDriverFaults(seed, res.Horizon)
 		if cfg.DumpFaults != nil {
 			fprintf(cfg.DumpFaults, "seed %d fault schedule:\n", seed)
 			for _, line := range sched.Describe() {
@@ -244,6 +263,10 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.Rejoins += run.rec.Rejoins
 		res.StaleRejects += run.rec.StaleEpochRejections
 		res.CorruptReads += run.rec.CorruptBlocks
+		res.DriverCrashes += run.rec.DriverCrashes
+		res.DriverRestarts += run.rec.DriverRestarts
+		res.JournalReplayed += run.rec.JournalRecordsReplayed
+		res.JournalTorn += run.rec.JournalTornTails
 		if d := run.rec.MaxDetectionDelay(); d > res.MaxDetect {
 			res.MaxDetect = d
 		}
@@ -251,11 +274,136 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			res.MaxDelay = d
 		}
 	}
+	runChaosStream(cfg, &res)
 	if len(res.Violations) > 0 {
 		return res, fmt.Errorf("chaos: %d of %d seeds violated the recovery contract",
 			len(res.Violations), cfg.Seeds)
 	}
 	return res, nil
+}
+
+// chaosStreamWorkload runs the stream-continuity workload: a windowed
+// co-located stream ingests StreamSteps deterministic micro-batches, then
+// the surviving window's step RDDs are collected and fingerprinted — so a
+// driver crash mid-window must come back with exactly the same live steps
+// holding exactly the same records.
+func chaosStreamWorkload(cfg ChaosConfig, opts ...stark.Option) (run chaosRun) {
+	defer func() {
+		if p := recover(); p != nil {
+			run.err = fmt.Errorf("panic reached driver: %v", p)
+		}
+	}()
+	base := []stark.Option{
+		stark.WithExecutors(cfg.Executors),
+		stark.WithSlots(cfg.Slots),
+		stark.WithSeed(7),
+		stark.WithCoLocality(),
+		stark.WithNetwork(stark.NetworkConfig{
+			BaseDelay: 200 * time.Microsecond,
+			Jitter:    300 * time.Microsecond,
+		}),
+		stark.WithHeartbeat(40*time.Millisecond, 120*time.Millisecond, 300*time.Millisecond),
+		stark.WithDriverRecovery(),
+	}
+	ctx := stark.NewContext(append(base, opts...)...)
+	defer func() {
+		run.rec = ctx.RecoveryStats()
+		run.faults = ctx.FaultStats()
+		run.end = ctx.Now()
+	}()
+
+	window := 3
+	s, err := ctx.NewStream(stark.StreamConfig{
+		Name:        "chaos-stream",
+		Partitioner: stark.NewHashPartitioner(cfg.Parts),
+		Namespace:   "chaos-stream",
+		Window:      window,
+	})
+	if err != nil {
+		run.err = fmt.Errorf("stream setup: %w", err)
+		return run
+	}
+	h := fnv.New64a()
+	for step := 0; step < cfg.StreamSteps; step++ {
+		recs := make([]stark.Record, cfg.Records/cfg.StreamSteps)
+		for i := range recs {
+			recs[i] = stark.Pair(fmt.Sprintf("k%04d", (i*7+step)%173), step*100000+i)
+		}
+		s.Ingest(step, recs)
+		ctx.Drain()
+	}
+	// Fingerprint the surviving window: which steps are live and, for each,
+	// the full sorted contents.
+	for step := 0; step < cfg.StreamSteps; step++ {
+		r := s.Step(step)
+		if r == nil {
+			fmt.Fprintf(h, "s%d=dead;", step)
+			continue
+		}
+		out, _, err := r.Collect()
+		if err != nil {
+			run.err = fmt.Errorf("window collect step %d: %w", step, err)
+			return run
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Key != out[b].Key {
+				return out[a].Key < out[b].Key
+			}
+			return out[a].Value.(int) < out[b].Value.(int)
+		})
+		fmt.Fprintf(h, "s%d:", step)
+		for _, r := range out {
+			fmt.Fprintf(h, "%s=%d;", r.Key, r.Value.(int))
+		}
+	}
+	run.fingerprint = fmt.Sprintf("%016x", h.Sum64())
+	return run
+}
+
+// runChaosStream executes the stream-continuity sweep: a fault-free stream
+// oracle, then one run per seed under a driver-crash-only schedule. Window
+// divergence, errors, and bound violations append to res.Violations.
+func runChaosStream(cfg ChaosConfig, res *ChaosResult) {
+	if cfg.StreamSteps <= 0 {
+		return
+	}
+	oracle := chaosStreamWorkload(cfg)
+	if oracle.err != nil {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("stream oracle: %v", oracle.err))
+		return
+	}
+	res.StreamOracle = oracle.fingerprint
+	for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
+		sched := stark.FaultSchedule{}.WithDriverFaults(seed, oracle.end)
+		if cfg.DumpFaults != nil {
+			fprintf(cfg.DumpFaults, "stream seed %d fault schedule:\n", seed)
+			for _, line := range sched.Describe() {
+				fprintf(cfg.DumpFaults, "  %s\n", line)
+			}
+		}
+		run := chaosStreamWorkload(cfg, stark.WithFaults(sched))
+		switch {
+		case run.err != nil:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("stream seed %d: %v", seed, run.err))
+		case run.fingerprint != res.StreamOracle:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("stream seed %d: window fingerprint %s != oracle %s",
+					seed, run.fingerprint, res.StreamOracle))
+		case run.rec.MaxRecoveryDelay() > cfg.Bound:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("stream seed %d: recovery delay %v exceeds bound %v",
+					seed, run.rec.MaxRecoveryDelay(), cfg.Bound))
+		}
+		res.DriverCrashes += run.rec.DriverCrashes
+		res.DriverRestarts += run.rec.DriverRestarts
+		res.JournalReplayed += run.rec.JournalRecordsReplayed
+		res.JournalTorn += run.rec.JournalTornTails
+		if d := run.rec.MaxRecoveryDelay(); d > res.MaxDelay {
+			res.MaxDelay = d
+		}
+	}
 }
 
 // Print emits the chaos summary.
@@ -272,6 +420,12 @@ func (r ChaosResult) Print(w io.Writer) {
 		r.SpecWins, r.SpecLaunches, r.Blacklists)
 	fprintf(w, "  detection:       suspect=%d cleared=%d dead=%d rejoin=%d staleEpoch=%d corruptReads=%d maxDetect=%v\n",
 		r.Suspicions, r.SuspCleared, r.DeadDecls, r.Rejoins, r.StaleRejects, r.CorruptReads, r.MaxDetect)
+	fprintf(w, "  driver domain:   crashes=%d restarts=%d journalReplayed=%d tornTails=%d\n",
+		r.DriverCrashes, r.DriverRestarts, r.JournalReplayed, r.JournalTorn)
+	if r.StreamOracle != "" {
+		fprintf(w, "  stream window:   oracle fingerprint %s across %d driver-crash seeds\n",
+			r.StreamOracle, r.Cfg.Seeds)
+	}
 	fprintf(w, "  max recovery delay %v <= bound %v\n", r.MaxDelay, r.Cfg.Bound)
 	if len(r.Violations) == 0 {
 		fprintf(w, "  all %d seeds produced oracle-identical results within the bound\n", r.Cfg.Seeds)

@@ -79,6 +79,18 @@ type BlockCorrupt struct {
 	Pick       int
 }
 
+// DriverCrash fails the driver at a virtual time and restarts it after a
+// delay, forcing a write-ahead-journal replay. TearTail removes that many
+// bytes from the journal's end at crash time, simulating a crash mid-append
+// (0 leaves the journal intact). Requires the engine's driver-recovery
+// feature; RestartAfter must be positive — a driver that never comes back
+// would wedge every in-flight job.
+type DriverCrash struct {
+	At           time.Duration
+	RestartAfter time.Duration
+	TearTail     int
+}
+
 // Schedule is a complete fault plan. The zero value injects nothing.
 type Schedule struct {
 	// Seed drives the transient storage-error rolls; runs with equal seeds
@@ -99,19 +111,24 @@ type Schedule struct {
 	Partitions   []Partition
 	NetDelays    []NetDelay
 	BlockCorrupt []BlockCorrupt
+
+	// Driver-fault events (require the engine's driver-recovery feature).
+	DriverCrashes []DriverCrash
 }
 
 // Empty reports whether the schedule injects no faults at all.
 func (s Schedule) Empty() bool {
 	return s.StorageErrorProb == 0 && s.MsgDropProb == 0 &&
 		len(s.Crashes) == 0 && len(s.Stragglers) == 0 && len(s.BlockLoss) == 0 &&
-		len(s.Partitions) == 0 && len(s.NetDelays) == 0 && len(s.BlockCorrupt) == 0
+		len(s.Partitions) == 0 && len(s.NetDelays) == 0 && len(s.BlockCorrupt) == 0 &&
+		len(s.DriverCrashes) == 0
 }
 
 // Events reports the number of scheduled (non-probabilistic) fault events.
 func (s Schedule) Events() int {
 	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss) +
-		len(s.Partitions) + len(s.NetDelays) + len(s.BlockCorrupt)
+		len(s.Partitions) + len(s.NetDelays) + len(s.BlockCorrupt) +
+		len(s.DriverCrashes)
 }
 
 // System is the surface the injector drives; the engine implements it.
@@ -136,6 +153,11 @@ type System interface {
 	// anything existed to corrupt.
 	CorruptShuffleBlock(pick int) bool
 	CorruptCheckpointBlock(pick int) bool
+	// CrashDriver fails the driver, tearing tearTail bytes off the journal;
+	// RestartDriver replays the journal and resumes. Both require the
+	// driver-recovery feature.
+	CrashDriver(tearTail int)
+	RestartDriver()
 }
 
 // Stats counts the faults an injector actually delivered.
@@ -153,21 +175,24 @@ type Stats struct {
 	MsgDrops        int
 	MsgRolls        int // messages that consulted the drop probability
 	MissedDrops     int // block events that found nothing to drop/corrupt
+	DriverCrashes   int
+	DriverRestarts  int
 }
 
 // Total reports the number of faults delivered (restarts and heals are
 // repairs, not faults, and are excluded).
 func (s Stats) Total() int {
 	return s.Crashes + s.Stragglers + s.BlocksDropped + s.BlocksCorrupted +
-		s.Partitions + s.DelayWindows + s.StorageErrors + s.MsgDrops
+		s.Partitions + s.DelayWindows + s.StorageErrors + s.MsgDrops +
+		s.DriverCrashes
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d",
+	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d driverCrashes=%d",
 		s.Crashes, s.Restarts, s.Stragglers, s.Partitions, s.DelayWindows,
 		s.BlocksDropped, s.BlocksCorrupted, s.StorageErrors, s.StorageRolls,
-		s.MsgDrops, s.MsgRolls)
+		s.MsgDrops, s.MsgRolls, s.DriverCrashes)
 }
 
 // Injector delivers one Schedule. Create with New, wire storage errors via
@@ -294,6 +319,23 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 					s.MissedDrops++
 				}
 			})
+		})
+	}
+	for _, dc := range in.sched.DriverCrashes {
+		dc := dc
+		loop.At(dc.At, func() {
+			in.bump(func(s *Stats) { s.DriverCrashes++ })
+			sys.CrashDriver(dc.TearTail)
+		})
+		restartAfter := dc.RestartAfter
+		if restartAfter <= 0 {
+			// A never-restarting driver would wedge every job; clamp to an
+			// immediate restart at the next instant.
+			restartAfter = 1
+		}
+		loop.At(dc.At+restartAfter, func() {
+			in.bump(func(s *Stats) { s.DriverRestarts++ })
+			sys.RestartDriver()
 		})
 	}
 }
@@ -436,6 +478,34 @@ func (s Schedule) WithNetFaults(seed int64, horizon time.Duration, executors int
 	return s
 }
 
+// WithDriverFaults returns a copy of the schedule extended with one
+// randomized driver crash-restart derived from the same seed on an
+// independent RNG stream (leaving the base and network draws untouched).
+// The crash lands mid-run, the restart follows within a few percent of the
+// horizon, and roughly half the crashes tear a few bytes off the journal
+// tail to exercise torn-frame truncation.
+func (s Schedule) WithDriverFaults(seed int64, horizon time.Duration) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed ^ 0xd21fe2)))
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	at := time.Duration((0.15 + 0.55*rng.Float64()) * float64(horizon))
+	restart := time.Duration((0.02 + 0.06*rng.Float64()) * float64(horizon))
+	if restart <= 0 {
+		restart = 1
+	}
+	tear := 0
+	if rng.Intn(2) == 0 {
+		tear = 1 + rng.Intn(16)
+	}
+	s.DriverCrashes = append(s.DriverCrashes, DriverCrash{
+		At:           at,
+		RestartAfter: restart,
+		TearTail:     tear,
+	})
+	return s
+}
+
 // Describe renders the armed fault plan as one line per scheduled event,
 // sorted by virtual time (probabilistic knobs follow at the end) — the
 // output of starkbench's -dump-faults flag.
@@ -473,6 +543,9 @@ func (s Schedule) Describe() []string {
 			kind = "checkpoint"
 		}
 		add(bc.At, "block-corrupt %s pick=%d", kind, bc.Pick)
+	}
+	for _, dc := range s.DriverCrashes {
+		add(dc.At, "driver-crash restartAfter=%v tearTail=%d", dc.RestartAfter, dc.TearTail)
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
 	out := make([]string, 0, len(evs)+2)

@@ -48,6 +48,8 @@ func (r *recorder) CorruptCheckpointBlock(pick int) bool {
 	r.log = append(r.log, "corrupt-checkpoint")
 	return true
 }
+func (r *recorder) CrashDriver(tearTail int) { r.log = append(r.log, "driver-crash") }
+func (r *recorder) RestartDriver()           { r.log = append(r.log, "driver-restart") }
 
 func TestArmDeliversScheduleInOrder(t *testing.T) {
 	s := Schedule{

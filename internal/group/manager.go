@@ -263,3 +263,30 @@ func (m *Manager) Rebalance(ns string) ([]Change, error) {
 	}
 	return changes, nil
 }
+
+// ReplaySplit re-applies a journaled split during driver crash recovery: it
+// splits the named group unconditionally, bypassing the size thresholds —
+// the original decision already passed them and its sizes died with the
+// driver. Returns the two halves.
+func (m *Manager) ReplaySplit(ns string, groupID int) (Group, Group, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.namespaces[ns]
+	if !ok {
+		return Group{}, Group{}, fmt.Errorf("group: unknown namespace %q", ns)
+	}
+	return st.tree.Split(groupID)
+}
+
+// ReplayMerge re-applies a journaled merge during driver crash recovery,
+// merging the named left sibling with its pair unconditionally. Returns the
+// merged group.
+func (m *Manager) ReplayMerge(ns string, leftID int) (Group, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.namespaces[ns]
+	if !ok {
+		return Group{}, fmt.Errorf("group: unknown namespace %q", ns)
+	}
+	return st.tree.Merge(leftID)
+}

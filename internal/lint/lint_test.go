@@ -210,6 +210,49 @@ func deadline() time.Time { return time.Now() }
 	}
 }
 
+// TestJournalReplayClean pins the crash-recovery acceptance criterion: the
+// journal-replay shape — sorted walks over the surviving job table and
+// virtual-clock recovery-delay arithmetic — must pass the default engine
+// policy with zero findings and zero suppressions. If an analyzer ever
+// starts flagging this idiom, the restart path in internal/engine/driver.go
+// would need starklint:ignore directives, which the acceptance criteria
+// forbid outside annotated bench sites.
+func TestJournalReplayClean(t *testing.T) {
+	const src = `package engine
+
+import (
+	"sort"
+	"time"
+)
+
+type replayJob struct{ id int }
+
+// resubmitJobs mirrors driver.go: deterministic order over a map-backed
+// table, no wall-clock reads.
+func resubmitJobs(jobTab map[int]*replayJob, live map[int]bool, start func(*replayJob)) {
+	ids := make([]int, 0, len(jobTab))
+	for id := range jobTab {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if live[id] {
+			start(jobTab[id])
+		}
+	}
+}
+
+// recoveryDelay mirrors the resumeEpoch close: both endpoints are virtual
+// times handed in by the event loop.
+func recoveryDelay(crashedAt, resumedAt time.Duration) time.Duration {
+	return resumedAt - crashedAt
+}
+`
+	if diags := checkSource(t, "stark/internal/engine", src); len(diags) != 0 {
+		t.Fatalf("journal-replay idiom must lint clean in the engine scope, got %v", diags)
+	}
+}
+
 // TestDefaultConfigScope checks the policy boundaries: mapiter binds only
 // to the ordered packages, while the determinism analyzers cover the whole
 // module.

@@ -39,3 +39,17 @@ func localScratch(m map[int][]int) map[int]int {
 	}
 	return counts
 }
+
+// The driver-restart job-resubmission idiom: the surviving job table is a
+// map, but replay order is pinned by collecting the ids and sorting before
+// any order-sensitive work (re-journaling, resubmission) happens.
+func resubmitOrder(jobTab map[int]string, resubmit func(int, string)) {
+	ids := make([]int, 0, len(jobTab))
+	for id := range jobTab {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		resubmit(id, jobTab[id])
+	}
+}

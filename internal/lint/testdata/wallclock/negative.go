@@ -10,3 +10,10 @@ func good(d time.Duration) time.Duration {
 	_ = epoch.Add(step)
 	return d + step
 }
+
+// The driver-restart recovery-delay computation: both endpoints come off the
+// virtual clock (passed in as durations), so the subtraction is pure
+// duration arithmetic — no wall-clock read anywhere on the replay path.
+func recoveryDelay(crashedAt, resumedAt time.Duration) time.Duration {
+	return resumedAt - crashedAt
+}

@@ -39,6 +39,14 @@ type RecoveryMetrics struct {
 	// failed on read; each was evicted and recomputed through lineage.
 	CorruptBlocks int `json:"corrupt_blocks"`
 
+	// Driver fault-domain counters: crashes and completed restarts of the
+	// driver itself, write-ahead-journal records replayed across all
+	// restarts, and torn journal tails truncated during replay.
+	DriverCrashes          int `json:"driver_crashes"`
+	DriverRestarts         int `json:"driver_restarts"`
+	JournalRecordsReplayed int `json:"journal_records_replayed"`
+	JournalTornTails       int `json:"journal_torn_tails"`
+
 	RecoveryDelays []time.Duration `json:"recovery_delays_ns"`
 	// DetectionDelays records, per dead declaration, the virtual time from
 	// the executor's last heard heartbeat to the declaration — the detection
@@ -62,10 +70,11 @@ func (r RecoveryMetrics) MaxDetectionDelay() time.Duration {
 
 // String renders a one-line summary.
 func (r RecoveryMetrics) String() string {
-	return fmt.Sprintf("failures=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d suspect=%d dead=%d rejoin=%d staleEpoch=%d corrupt=%d maxDetect=%v maxRecovery=%v",
+	return fmt.Sprintf("failures=%d retries=%d fetchFail=%d resubmits=%d spec=%d/%d blacklists=%d suspect=%d dead=%d rejoin=%d staleEpoch=%d corrupt=%d driverCrash=%d/%d journalReplayed=%d torn=%d maxDetect=%v maxRecovery=%v",
 		r.TaskFailures, r.TaskRetries, r.FetchFailures, r.StageResubmissions,
 		r.SpeculativeWins, r.SpeculativeLaunches, r.ExecutorBlacklists,
 		r.Suspicions, r.DeadDeclarations, r.Rejoins, r.StaleEpochRejections, r.CorruptBlocks,
+		r.DriverCrashes, r.DriverRestarts, r.JournalRecordsReplayed, r.JournalTornTails,
 		r.MaxDetectionDelay().Round(time.Millisecond),
 		r.MaxRecoveryDelay().Round(time.Millisecond))
 }

@@ -69,3 +69,65 @@ func TestConcurrentStatsAccess(t *testing.T) {
 		t.Fatal("fault schedule exercised no recovery machinery; the race coverage is vacuous")
 	}
 }
+
+// TestConcurrentStatsDriverRestart drives the driver crash-restart path —
+// write-ahead journal, torn-tail truncation, replay, job resubmission —
+// while a monitoring goroutine polls the exported stats accessors. Run
+// under -race (CI runs it at -cpu 1,4) this verifies the restart path keeps
+// the same cross-goroutine safety contract as steady-state operation.
+func TestConcurrentStatsDriverRestart(t *testing.T) {
+	const horizon = 50 * time.Millisecond
+	sched := stark.FaultSchedule{
+		DriverCrashes: []stark.DriverCrashFault{
+			{At: 12 * time.Millisecond, RestartAfter: 3 * time.Millisecond, TearTail: 5},
+			{At: 34 * time.Millisecond, RestartAfter: 2 * time.Millisecond},
+		},
+	}.WithDriverFaults(17, horizon)
+	ctx := stark.NewContext(
+		stark.WithExecutors(4),
+		stark.WithSeed(3),
+		stark.WithDriverRecovery(),
+		stark.WithNetwork(stark.NetworkConfig{
+			BaseDelay: 200 * time.Microsecond,
+			Jitter:    300 * time.Microsecond,
+		}),
+		stark.WithHeartbeat(2*time.Millisecond, 6*time.Millisecond, 15*time.Millisecond),
+		stark.WithFaults(sched),
+	)
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			_ = ctx.RecoveryStats()
+			_ = ctx.Blacklisted()
+			_ = ctx.FaultStats()
+		}
+	}()
+
+	recs := make([]stark.Record, 4000)
+	for i := range recs {
+		recs[i] = stark.Pair(fmt.Sprintf("k%04d", i%97), i)
+	}
+	p := stark.NewHashPartitioner(12)
+	sums := ctx.TextFile("events", recs, 12).
+		ReduceByKey(p, func(a, b any) any { return a.(int) + b.(int) }).
+		Cache()
+	for step := 0; step < 4; step++ {
+		n, _, err := sums.Count()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if n != 97 {
+			t.Fatalf("step %d: count = %d, want 97", step, n)
+		}
+	}
+
+	stop.Store(true)
+	<-done
+	rec := ctx.RecoveryStats()
+	if rec.DriverRestarts == 0 {
+		t.Fatal("no driver restart fired inside the workload; the race coverage is vacuous")
+	}
+}
