@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-nightly bench bench-json bench-engine examples experiments clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-nightly multitenant bench bench-json bench-engine examples experiments clean
 
 all: build lint test
 
@@ -36,6 +36,12 @@ chaos:
 
 chaos-nightly:
 	$(GO) run ./cmd/starkbench -experiment chaos -nightly -dump-faults -seeds $(SEEDS)
+
+# Multi-tenant overload oracle: session-layer tests under the race detector
+# at 1 and 4 procs, then the 30-seed storm/poison sweep (SEEDS overrides).
+multitenant:
+	$(GO) test -race -cpu 1,4 ./internal/session/
+	$(GO) run ./cmd/starkbench -experiment multitenant -seeds $(SEEDS)
 
 bench: lint
 	$(GO) test -bench=. -benchmem -benchtime=1x .

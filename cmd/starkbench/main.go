@@ -202,6 +202,21 @@ func experimentsList() []experiment {
 			r.Print(os.Stdout)
 			return err
 		}},
+		{"multitenant", "multi-tenant overload oracle: admission control, DRR fairness, deadlines (robustness suite)", func(quick bool) error {
+			cfg := experiments.DefaultMultitenant()
+			if quick {
+				cfg.Seeds = 8
+			}
+			if chaosSeeds > 0 {
+				cfg.Seeds = chaosSeeds
+			}
+			if dumpFaults {
+				cfg.DumpFaults = os.Stdout
+			}
+			r, err := experiments.RunMultitenant(cfg)
+			r.Print(os.Stdout)
+			return err
+		}},
 		{"churn", "dynamic load/evict collection under correlated queries (Sec. I scenario)", func(bool) error {
 			r, err := experiments.RunChurn(experiments.DefaultChurn())
 			if err != nil {

@@ -51,6 +51,11 @@ func (e *Engine) DriverRecoveryEnabled() bool { return e.jrn != nil }
 // DriverDown reports whether the driver is currently crashed.
 func (e *Engine) DriverDown() bool { return e.driverDown }
 
+// Journal exposes the write-ahead journal (nil without driver recovery),
+// so callers can attach a durable sink and so shutdown paths can be tested
+// for handle hygiene.
+func (e *Engine) Journal() *journal.Log { return e.jrn }
+
 // JournalLen reports the number of records currently in the journal.
 func (e *Engine) JournalLen() int {
 	if e.jrn == nil {
@@ -120,22 +125,20 @@ func (e *Engine) JournalStreamEvict(name string, step int) {
 	e.journalAppend(journal.Record{Kind: journal.KindStreamEvict, S: name, A: int64(step)})
 }
 
-// journalJobSubmit records a job submission and files the client's handle
-// for restart-and-resume.
+// journalJobSubmit records a job submission; the handle itself is filed in
+// jobTab by SubmitJob, in every configuration.
 func (e *Engine) journalJobSubmit(j *job) {
 	if e.jrn == nil {
 		return
 	}
-	e.jobTab[j.id] = j
 	e.journalAppend(journal.Record{Kind: journal.KindJobSubmit, A: int64(j.id)})
 }
 
-// journalJobComplete records a job completion and retires its handle.
+// journalJobComplete records a job completion; finishJob retires the handle.
 func (e *Engine) journalJobComplete(j *job) {
 	if e.jrn == nil {
 		return
 	}
-	delete(e.jobTab, j.id)
 	e.journalAppend(journal.Record{Kind: journal.KindJobComplete, A: int64(j.id)})
 }
 
@@ -151,7 +154,7 @@ func (e *Engine) CrashDriver(tearTail int) {
 	if e.jrn == nil {
 		panic("engine: driver crash injected without driver recovery; enable WithDriverRecovery")
 	}
-	if e.driverDown {
+	if e.driverDown || e.closed {
 		return
 	}
 	e.trace("driver-crash", -1, -1, -1, -1,
@@ -179,6 +182,7 @@ func (e *Engine) CrashDriver(tearTail int) {
 	e.running = make(map[int]*task)
 	e.shuffleRunning = make(map[int]bool)
 	e.shuffleWaiters = make(map[int][]*stageRun)
+	e.shuffleOwner = make(map[int]*job)
 	e.shuffleStages = make(map[int]*sched.Stage)
 	e.fetchWaiters = make(map[int][]*task)
 	e.resubmits = make(map[int]int)
@@ -203,7 +207,7 @@ func (e *Engine) RestartDriver() {
 	if e.jrn == nil {
 		panic("engine: driver restart injected without driver recovery; enable WithDriverRecovery")
 	}
-	if !e.driverDown {
+	if !e.driverDown || e.closed {
 		return
 	}
 	e.driverDown = false
@@ -417,7 +421,9 @@ func (e *Engine) resubmitJobs(liveJobs map[int]bool) {
 	sort.Ints(ids)
 	for _, id := range ids {
 		j := e.jobTab[id]
-		if j.done {
+		if j.done || j.pending {
+			// Submissions buffered during the downtime start below, after
+			// every journaled job, preserving submit order across the crash.
 			continue
 		}
 		if !liveJobs[id] {
@@ -434,9 +440,44 @@ func (e *Engine) resubmitJobs(liveJobs map[int]bool) {
 	pending := e.pendingJobs
 	e.pendingJobs = nil
 	for _, j := range pending {
+		if j.done {
+			continue // cancelled while buffered
+		}
+		j.pending = false
 		e.journalJobSubmit(j)
 		e.startJob(j)
 	}
+}
+
+// Close shuts the driver down for good, idempotently: the first call fails
+// every in-flight job (submissions buffered during a crash window included)
+// with ErrJobCancelled, unwinds their tasks, and closes the journal's sink
+// exactly once; later calls — and calls landing during a crash-recovery
+// window — change nothing and return the first call's error. A closed driver
+// rejects new submissions and ignores CrashDriver/RestartDriver.
+func (e *Engine) Close() error {
+	if e.closed {
+		return e.closeErr
+	}
+	e.closed = true
+	// A closed driver is terminally down, not crashed-awaiting-restart:
+	// clear the crash flag so DriverDown readers see a settled state and a
+	// racing scheduled RestartDriver stays a no-op (it checks closed first).
+	e.driverDown = false
+	cause := fmt.Errorf("engine: driver closed: %w", ErrJobCancelled)
+	ids := make([]int, 0, len(e.jobTab))
+	for id := range e.jobTab {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e.cancelJob(e.jobTab[id], cause)
+	}
+	e.pendingJobs = nil
+	if e.jrn != nil {
+		e.closeErr = e.jrn.Close()
+	}
+	return e.closeErr
 }
 
 // registerNamespace is the journal-free core of RegisterNamespace; replay

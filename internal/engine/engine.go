@@ -23,8 +23,8 @@ import (
 	"stark/internal/journal"
 	"stark/internal/locality"
 	"stark/internal/metrics"
-	"stark/internal/partition"
 	netsim "stark/internal/net"
+	"stark/internal/partition"
 	"stark/internal/rdd"
 	"stark/internal/record"
 	"stark/internal/replication"
@@ -173,9 +173,12 @@ type Engine struct {
 	running   map[int]*task // by task id
 
 	// shuffleRunning marks shuffles whose map stage is currently executing;
-	// shuffleWaiters holds stage runs blocked on them.
+	// shuffleWaiters holds stage runs blocked on them; shuffleOwner remembers
+	// which job's run holds the execution so cross-job in-flight stage
+	// subscriptions are distinguishable from same-job re-checks in Stats.
 	shuffleRunning map[int]bool
 	shuffleWaiters map[int][]*stageRun
+	shuffleOwner   map[int]*job
 
 	// Failure-recovery state: which stage produces each shuffle (for
 	// resubmission after block loss), reduce tasks parked on a rebuilding
@@ -218,12 +221,19 @@ type Engine struct {
 	// client-held job handles and namespace partitioners re-attached at
 	// restart, the replayed stream step tables, restart hooks, and the open
 	// recovery epoch spanning crash through first resumed completions.
-	jrn            *journal.Log
-	driverDown     bool
-	driverGen      int
-	pendingJrn     []journal.Record
-	pendingJobs    []*job
-	jobTab         map[int]*job
+	jrn         *journal.Log
+	driverDown  bool
+	driverGen   int
+	pendingJrn  []journal.Record
+	pendingJobs []*job
+	// jobTab indexes every in-flight job by id (all configurations, not just
+	// DriverRecovery): CancelJob resolves handles through it, and the restart
+	// path resubmits from it.
+	jobTab map[int]*job
+	// closed marks a driver shut down for good via Close; closeErr remembers
+	// the first close's outcome so repeated Close calls are idempotent.
+	closed         bool
+	closeErr       error
 	nsPartitioners map[string]partition.Partitioner
 	streamSteps    map[string]map[int]int
 	restartHooks   []func()
@@ -275,6 +285,8 @@ func New(cfg Config) *Engine {
 		running:        make(map[int]*task),
 		shuffleRunning: make(map[int]bool),
 		shuffleWaiters: make(map[int][]*stageRun),
+		shuffleOwner:   make(map[int]*job),
+		jobTab:         make(map[int]*job),
 		shuffleStages:  make(map[int]*sched.Stage),
 		fetchWaiters:   make(map[int][]*task),
 		resubmits:      make(map[int]int),
@@ -302,7 +314,6 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.DriverRecovery {
 		e.jrn = &journal.Log{}
-		e.jobTab = make(map[int]*job)
 		e.nsPartitioners = make(map[string]partition.Partitioner)
 		e.streamSteps = make(map[string]map[int]int)
 	}
@@ -432,8 +443,12 @@ type job struct {
 	parts     [][]record.Record
 	tasks     []metrics.TaskMetrics
 	done      bool
-	err       error
-	cb        func(JobResult)
+	// pending marks a submission buffered while the driver was down; the
+	// restart path starts buffered jobs after the journaled ones and clears
+	// the flag.
+	pending bool
+	err     error
+	cb      func(JobResult)
 }
 
 type stageRun struct {
@@ -507,7 +522,8 @@ type task struct {
 // SubmitJob enqueues an action on final at the current virtual time; cb
 // fires on completion. Use RunJob for the synchronous version. While the
 // driver is crashed the submission is accepted (the client holds a valid
-// handle) but buffered; it starts when the driver restarts.
+// handle) but buffered; it starts when the driver restarts. A submission
+// against a closed driver fails immediately with ErrJobCancelled.
 func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) int {
 	j := &job{
 		id:        e.jobSeq,
@@ -518,8 +534,18 @@ func (e *Engine) SubmitJob(final *rdd.RDD, action Action, cb func(JobResult)) in
 		cb:        cb,
 	}
 	e.jobSeq++
+	if e.closed {
+		j.done = true
+		j.err = fmt.Errorf("engine: driver closed: %w", ErrJobCancelled)
+		if cb != nil {
+			cb(JobResult{JobID: j.id, Err: j.err})
+		}
+		return j.id
+	}
 	e.activeJobs++
+	e.jobTab[j.id] = j
 	if e.driverDown {
+		j.pending = true
 		e.pendingJobs = append(e.pendingJobs, j)
 		return j.id
 	}
@@ -618,6 +644,7 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 			// the skipped shuffle can rebuild it (without this, a restarted
 			// driver resuming from committed outputs would have no producer
 			// on record and block loss would fail the job).
+			e.stats.SharedShuffleSkips++
 			e.registerShuffleStage(sr.st)
 			sr.started = true
 			sr.runsShuffle = true
@@ -626,10 +653,16 @@ func (e *Engine) maybeStartStage(sr *stageRun) {
 			return
 		}
 		if e.shuffleRunning[sr.st.ShuffleID] {
+			// In-flight stage subscription: instead of computing the shuffle a
+			// second time, park on the run that owns it and share its outputs.
+			if owner := e.shuffleOwner[sr.st.ShuffleID]; owner != nil && owner != sr.job {
+				e.stats.SharedStageSubs++
+			}
 			e.shuffleWaiters[sr.st.ShuffleID] = append(e.shuffleWaiters[sr.st.ShuffleID], sr)
 			return
 		}
 		e.shuffleRunning[sr.st.ShuffleID] = true
+		e.shuffleOwner[sr.st.ShuffleID] = sr.job
 		sr.runsShuffle = true
 		if err := e.store.RegisterShuffle(sr.st.ShuffleID, sr.st.Output.Parts, sr.st.Consumer.Parts); err != nil {
 			panic(err) // geometry conflicts are engine bugs
@@ -838,6 +871,7 @@ func (e *Engine) onStageComplete(sr *stageRun) {
 		}
 		sr.runsShuffle = false
 		delete(e.shuffleRunning, sr.st.ShuffleID)
+		delete(e.shuffleOwner, sr.st.ShuffleID)
 		waiters := e.shuffleWaiters[sr.st.ShuffleID]
 		delete(e.shuffleWaiters, sr.st.ShuffleID)
 		// Children in this job plus cross-job waiters re-check readiness.
@@ -860,6 +894,7 @@ func (e *Engine) finishJob(j *job) {
 	j.done = true
 	e.activeJobs--
 	e.stats.Jobs++
+	delete(e.jobTab, j.id)
 	e.journalJobComplete(j)
 	jm := metrics.JobMetrics{
 		JobID:     j.id,

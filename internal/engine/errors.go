@@ -5,14 +5,18 @@ import (
 	"fmt"
 )
 
-// Typed sentinel errors for the data plane. The retry machinery keys on
-// them: ErrStorage marks a (possibly transient) persistent-storage failure
-// that a bounded per-task retry may heal; ErrFetchFailed marks a reduce
-// task that found its parent shuffle incomplete, which triggers stage
-// resubmission (recompute the lost map outputs) instead of a plain retry.
+// Typed sentinel errors for the data plane and the job lifecycle. The retry
+// machinery keys on them: ErrStorage marks a (possibly transient)
+// persistent-storage failure that a bounded per-task retry may heal;
+// ErrFetchFailed marks a reduce task that found its parent shuffle
+// incomplete, which triggers stage resubmission (recompute the lost map
+// outputs) instead of a plain retry. ErrJobCancelled marks a job withdrawn
+// by the client before completion — deadline expiry, admission-control
+// shedding, or driver shutdown; its tasks are unwound, never retried.
 var (
-	ErrStorage     = errors.New("engine: storage error")
-	ErrFetchFailed = errors.New("engine: shuffle fetch failed")
+	ErrStorage      = errors.New("engine: storage error")
+	ErrFetchFailed  = errors.New("engine: shuffle fetch failed")
+	ErrJobCancelled = errors.New("engine: job cancelled")
 )
 
 // fetchError carries the shuffle whose outputs went missing so the recovery
@@ -26,5 +30,7 @@ func (f *fetchError) Error() string {
 	return fmt.Sprintf("%v: shuffle %d: %v", ErrFetchFailed, f.shuffle, f.err)
 }
 
-// Unwrap lets errors.Is(err, ErrFetchFailed) see through the wrapper.
-func (f *fetchError) Unwrap() error { return ErrFetchFailed }
+// Unwrap exposes both the typed sentinel and the underlying cause, so
+// errors.Is(err, ErrFetchFailed) and errors.Is(err, <root cause>) — an
+// injected fault, a corrupt block — both see through the wrapper.
+func (f *fetchError) Unwrap() []error { return []error{ErrFetchFailed, f.err} }

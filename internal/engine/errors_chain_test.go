@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"stark/internal/partition"
+	"stark/internal/storage"
+)
+
+// These tests pin the error-chain contract: every typed sentinel the engine
+// hands out (ErrStorage, ErrFetchFailed, ErrJobCancelled) must survive the
+// fmt.Errorf wrapping between the fault site and the job callback, so
+// clients classify failures with errors.Is instead of string matching.
+
+// TestErrStorageChainSurvivesRetryExhaustion: a permanent storage failure
+// with a distinguishable root cause burns the retry budget; the job error
+// must expose BOTH the typed ErrStorage sentinel and the root cause through
+// the "failed after N attempts" wrapper.
+func TestErrStorageChainSurvivesRetryExhaustion(t *testing.T) {
+	rootCause := errors.New("controller firmware wedge")
+	cfg := testConfig()
+	cfg.Recovery.MaxTaskRetries = 2
+	cfg.Recovery.RetryBackoff = time.Millisecond
+	e := New(cfg)
+	e.Store().SetFaultHook(func(op storage.Op) error {
+		if op == storage.OpMapOutputWrite {
+			return rootCause
+		}
+		return nil
+	})
+	g := e.Graph()
+	src := g.Source("src", dataset(200, 4), true)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(4))
+	_, _, err := e.Count(pb)
+	if err == nil {
+		t.Fatal("job succeeded despite a permanent storage failure")
+	}
+	if !errors.Is(err, ErrStorage) {
+		t.Errorf("errors.Is(err, ErrStorage) = false; chain broke: %v", err)
+	}
+	if !errors.Is(err, rootCause) {
+		t.Errorf("errors.Is(err, rootCause) = false; the original cause was dropped: %v", err)
+	}
+	if errors.Is(err, ErrFetchFailed) || errors.Is(err, ErrJobCancelled) {
+		t.Errorf("error chain leaks unrelated sentinels: %v", err)
+	}
+}
+
+// TestFetchErrorExposesSentinelAndCause: fetchError's multi-error Unwrap
+// must let errors.Is see both the ErrFetchFailed sentinel and the root
+// cause, and errors.As must still recover the shuffle id — even after the
+// error is wrapped again on its way up.
+func TestFetchErrorExposesSentinelAndCause(t *testing.T) {
+	rootCause := errors.New("block server rebooted")
+	var err error = &fetchError{shuffle: 7, err: rootCause}
+	err = fmt.Errorf("reduce task 3: %w", err)
+
+	if !errors.Is(err, ErrFetchFailed) {
+		t.Errorf("errors.Is(err, ErrFetchFailed) = false: %v", err)
+	}
+	if !errors.Is(err, rootCause) {
+		t.Errorf("errors.Is(err, rootCause) = false: %v", err)
+	}
+	var fe *fetchError
+	if !errors.As(err, &fe) || fe.shuffle != 7 {
+		t.Errorf("errors.As lost the fetchError payload (fe=%v): %v", fe, err)
+	}
+	if errors.Is(err, ErrStorage) {
+		t.Errorf("fetch chain leaks ErrStorage: %v", err)
+	}
+}
+
+// TestCancelChainCarriesCause: CancelJob(id, cause) must deliver an error
+// satisfying errors.Is for both ErrJobCancelled and the caller's cause —
+// the contract the session layer's deadline path depends on.
+func TestCancelChainCarriesCause(t *testing.T) {
+	cause := errors.New("client went away")
+	e := New(testConfig())
+	g := e.Graph()
+	src := g.Source("src", dataset(400, 8), true)
+	pb := g.PartitionBy(src, "pb", partition.NewHash(8))
+
+	var got error
+	done := false
+	id := e.SubmitJob(pb, ActionCount, func(r JobResult) {
+		got = r.Err
+		done = true
+	})
+	e.Loop().At(time.Microsecond, func() {
+		if !e.CancelJob(id, cause) {
+			t.Error("CancelJob reported no job cancelled")
+		}
+	})
+	e.Loop().Run()
+
+	if !done {
+		t.Fatal("cancelled job never delivered a result")
+	}
+	if !errors.Is(got, ErrJobCancelled) {
+		t.Errorf("errors.Is(err, ErrJobCancelled) = false: %v", got)
+	}
+	if !errors.Is(got, cause) {
+		t.Errorf("errors.Is(err, cause) = false; caller's cause was dropped: %v", got)
+	}
+
+	// A cause already carrying the sentinel is not double-wrapped — the
+	// chain stays errors.Is-clean either way.
+	var got2 error
+	id2 := e.SubmitJob(pb, ActionCount, func(r JobResult) { got2 = r.Err })
+	e.Loop().At(e.Now()+time.Microsecond, func() {
+		e.CancelJob(id2, fmt.Errorf("%w: deadline", ErrJobCancelled))
+	})
+	e.Loop().Run()
+	if !errors.Is(got2, ErrJobCancelled) {
+		t.Errorf("pre-wrapped cause lost the sentinel: %v", got2)
+	}
+}

@@ -237,15 +237,7 @@ func (e *Engine) noteTaskSuccess(t *task) {
 			fmt.Sprintf("beat original %d", o.id))
 	}
 	e.noteExecutorSuccess(t.exec)
-	if ep := t.epoch; ep != nil {
-		t.epoch = nil
-		ep.pending--
-		if ep.pending == 0 {
-			d := e.loop.Now() - ep.start
-			e.recUpdate(func(r *recMetrics) { r.RecoveryDelays = append(r.RecoveryDelays, d) })
-			e.trace("recovery-complete", -1, -1, -1, -1, fmt.Sprintf("delay=%v", d))
-		}
-	}
+	e.releaseEpoch(t)
 	t.sr.durations = append(t.sr.durations, t.tm.Duration())
 }
 
@@ -288,6 +280,7 @@ func (e *Engine) releaseJobShuffles(j *job) {
 		id := sr.st.ShuffleID
 		sr.runsShuffle = false
 		delete(e.shuffleRunning, id)
+		delete(e.shuffleOwner, id)
 		waiters := e.shuffleWaiters[id]
 		delete(e.shuffleWaiters, id)
 		for _, w := range waiters {
@@ -333,6 +326,7 @@ func (e *Engine) rebuildShuffle(j *job, shuffleID int) {
 	sr := &stageRun{st: st, job: j, started: true, runsShuffle: true}
 	j.stages = append(j.stages, sr)
 	e.shuffleRunning[shuffleID] = true
+	e.shuffleOwner[shuffleID] = j
 	e.trace("stage-resubmit", j.id, st.ID, -1, -1,
 		fmt.Sprintf("shuffle=%d missing=%d", shuffleID, len(missing)))
 	e.enqueueMissing(sr, missing)

@@ -29,6 +29,14 @@ type Stats struct {
 
 	LocalTasks  int
 	RemoteTasks int
+
+	// Cross-job lineage sharing: SharedStageSubs counts stage runs that
+	// subscribed to another job's in-flight shuffle-map execution instead of
+	// running their own copy (in-flight stage dedup); SharedShuffleSkips
+	// counts map stages skipped wholesale because their shuffle outputs
+	// already persisted from an earlier job (cache-level dedup).
+	SharedStageSubs    int
+	SharedShuffleSkips int
 }
 
 // CacheHitRate reports hits / (hits + misses), 0 when nothing was read.

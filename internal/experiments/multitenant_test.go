@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// A trimmed sweep of the overload oracle: the isolation contract must hold
+// end-to-end (bit-identical admitted results, typed errors only, zero
+// duplicate computations) and the storm/poison faults must actually land.
+func TestMultitenantContract(t *testing.T) {
+	cfg := DefaultMultitenant()
+	cfg.Seeds = 6
+	r, err := RunMultitenant(cfg)
+	if err != nil {
+		t.Fatalf("contract violated: %v\n%s", err, strings.Join(r.Violations, "\n"))
+	}
+	if r.StormJobs == 0 {
+		t.Error("no storm jobs were injected across the sweep")
+	}
+	if r.Shed == 0 {
+		t.Error("no job was ever shed: storms are not producing overload")
+	}
+	if r.DedupSubscriptions < cfg.Seeds {
+		t.Errorf("dedupSubs=%d, want >=%d (the shared hot collect must dedup every run)",
+			r.DedupSubscriptions, cfg.Seeds)
+	}
+	if r.DuplicateComputations != 0 {
+		t.Errorf("duplicate computations = %d, want 0", r.DuplicateComputations)
+	}
+	if r.Completed == 0 || r.P50 == 0 {
+		t.Errorf("no planned jobs completed (completed=%d p50=%v)", r.Completed, r.P50)
+	}
+	var buf strings.Builder
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Errorf("Print did not report PASS:\n%s", buf.String())
+	}
+}

@@ -91,6 +91,28 @@ type DriverCrash struct {
 	TearTail     int
 }
 
+// TenantStorm is an open-loop arrival burst against one tenant session:
+// starting At, Jobs submissions spaced Every apart, each at Priority. The
+// injector never waits for completions — arrival rate is decoupled from
+// service rate, which is what pushes the admission controller into shedding.
+type TenantStorm struct {
+	At       time.Duration
+	Tenant   int
+	Jobs     int
+	Every    time.Duration
+	Priority int
+}
+
+// SlowTenant submits one poison job through a tenant session at a virtual
+// time: a job whose tasks take Factor times their modeled duration,
+// exercising deadline cancellation and fair-share isolation against a
+// tenant that hogs the cluster.
+type SlowTenant struct {
+	At     time.Duration
+	Tenant int
+	Factor float64
+}
+
 // Schedule is a complete fault plan. The zero value injects nothing.
 type Schedule struct {
 	// Seed drives the transient storage-error rolls; runs with equal seeds
@@ -114,6 +136,11 @@ type Schedule struct {
 
 	// Driver-fault events (require the engine's driver-recovery feature).
 	DriverCrashes []DriverCrash
+
+	// Session-layer fault events (require the multi-tenant job server;
+	// delivered through ArmSession, not Arm).
+	TenantStorms []TenantStorm
+	SlowTenants  []SlowTenant
 }
 
 // Empty reports whether the schedule injects no faults at all.
@@ -121,14 +148,14 @@ func (s Schedule) Empty() bool {
 	return s.StorageErrorProb == 0 && s.MsgDropProb == 0 &&
 		len(s.Crashes) == 0 && len(s.Stragglers) == 0 && len(s.BlockLoss) == 0 &&
 		len(s.Partitions) == 0 && len(s.NetDelays) == 0 && len(s.BlockCorrupt) == 0 &&
-		len(s.DriverCrashes) == 0
+		len(s.DriverCrashes) == 0 && len(s.TenantStorms) == 0 && len(s.SlowTenants) == 0
 }
 
 // Events reports the number of scheduled (non-probabilistic) fault events.
 func (s Schedule) Events() int {
 	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss) +
 		len(s.Partitions) + len(s.NetDelays) + len(s.BlockCorrupt) +
-		len(s.DriverCrashes)
+		len(s.DriverCrashes) + len(s.TenantStorms) + len(s.SlowTenants)
 }
 
 // System is the surface the injector drives; the engine implements it.
@@ -160,6 +187,19 @@ type System interface {
 	RestartDriver()
 }
 
+// SessionSystem is the session-layer surface the injector drives; the
+// multi-tenant job server implements it. Tenant indices are reduced modulo
+// the registered tenant count by the implementation, so schedules stay valid
+// without knowing the tenant roster in advance.
+type SessionSystem interface {
+	// StormSubmit submits one open-loop burst job through the tenant's
+	// session at the given priority; the injector never waits for it.
+	StormSubmit(tenant, priority int)
+	// PoisonSubmit submits one poison job through the tenant's session whose
+	// tasks take factor times their modeled duration.
+	PoisonSubmit(tenant int, factor float64)
+}
+
 // Stats counts the faults an injector actually delivered.
 type Stats struct {
 	Crashes         int
@@ -177,6 +217,9 @@ type Stats struct {
 	MissedDrops     int // block events that found nothing to drop/corrupt
 	DriverCrashes   int
 	DriverRestarts  int
+	TenantStorms    int // storm bursts started
+	StormJobs       int // individual storm submissions delivered
+	PoisonJobs      int // slow-tenant poison submissions delivered
 }
 
 // Total reports the number of faults delivered (restarts and heals are
@@ -184,15 +227,15 @@ type Stats struct {
 func (s Stats) Total() int {
 	return s.Crashes + s.Stragglers + s.BlocksDropped + s.BlocksCorrupted +
 		s.Partitions + s.DelayWindows + s.StorageErrors + s.MsgDrops +
-		s.DriverCrashes
+		s.DriverCrashes + s.StormJobs + s.PoisonJobs
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d driverCrashes=%d",
+	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d driverCrashes=%d stormJobs=%d poisonJobs=%d",
 		s.Crashes, s.Restarts, s.Stragglers, s.Partitions, s.DelayWindows,
 		s.BlocksDropped, s.BlocksCorrupted, s.StorageErrors, s.StorageRolls,
-		s.MsgDrops, s.MsgRolls, s.DriverCrashes)
+		s.MsgDrops, s.MsgRolls, s.DriverCrashes, s.StormJobs, s.PoisonJobs)
 }
 
 // Injector delivers one Schedule. Create with New, wire storage errors via
@@ -336,6 +379,35 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 		loop.At(dc.At+restartAfter, func() {
 			in.bump(func(s *Stats) { s.DriverRestarts++ })
 			sys.RestartDriver()
+		})
+	}
+}
+
+// ArmSession places every session-layer fault event on the loop, driving
+// the multi-tenant job server through SessionSystem. Call once, before
+// running the loop; independent of Arm so engine-only setups never pay for
+// it.
+func (in *Injector) ArmSession(loop *vtime.Loop, sys SessionSystem) {
+	for _, ts := range in.sched.TenantStorms {
+		ts := ts
+		for j := 0; j < ts.Jobs; j++ {
+			j := j
+			loop.At(ts.At+time.Duration(j)*ts.Every, func() {
+				in.bump(func(s *Stats) {
+					if j == 0 {
+						s.TenantStorms++
+					}
+					s.StormJobs++
+				})
+				sys.StormSubmit(ts.Tenant, ts.Priority)
+			})
+		}
+	}
+	for _, sl := range in.sched.SlowTenants {
+		sl := sl
+		loop.At(sl.At, func() {
+			in.bump(func(s *Stats) { s.PoisonJobs++ })
+			sys.PoisonSubmit(sl.Tenant, sl.Factor)
 		})
 	}
 }
@@ -506,6 +578,40 @@ func (s Schedule) WithDriverFaults(seed int64, horizon time.Duration) Schedule {
 	return s
 }
 
+// WithTenantFaults returns a copy of the schedule extended with randomized
+// session-layer faults derived from the same seed on an independent RNG
+// stream (leaving the base, network, and driver draws untouched): one or two
+// open-loop tenant storms whose arrival rates outpace any plausible service
+// rate, and, roughly half the time, one slow-tenant poison job. Tenant
+// indices are drawn from [0, tenants); implementations reduce them modulo
+// the live roster.
+func (s Schedule) WithTenantFaults(seed int64, horizon time.Duration, tenants int) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed ^ 0x7e4a47)))
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	if tenants < 1 {
+		tenants = 1
+	}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		s.TenantStorms = append(s.TenantStorms, TenantStorm{
+			At:       time.Duration((0.05 + 0.6*rng.Float64()) * float64(horizon)),
+			Tenant:   rng.Intn(tenants),
+			Jobs:     4 + rng.Intn(12),
+			Every:    time.Duration(float64(horizon) * (0.002 + 0.01*rng.Float64())),
+			Priority: rng.Intn(3),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		s.SlowTenants = append(s.SlowTenants, SlowTenant{
+			At:     time.Duration((0.1 + 0.5*rng.Float64()) * float64(horizon)),
+			Tenant: rng.Intn(tenants),
+			Factor: 4 + 8*rng.Float64(),
+		})
+	}
+	return s
+}
+
 // Describe renders the armed fault plan as one line per scheduled event,
 // sorted by virtual time (probabilistic knobs follow at the end) — the
 // output of starkbench's -dump-faults flag.
@@ -546,6 +652,12 @@ func (s Schedule) Describe() []string {
 	}
 	for _, dc := range s.DriverCrashes {
 		add(dc.At, "driver-crash restartAfter=%v tearTail=%d", dc.RestartAfter, dc.TearTail)
+	}
+	for _, ts := range s.TenantStorms {
+		add(ts.At, "tenant-storm tenant=%d jobs=%d every=%v prio=%d", ts.Tenant, ts.Jobs, ts.Every, ts.Priority)
+	}
+	for _, sl := range s.SlowTenants {
+		add(sl.At, "slow-tenant  tenant=%d factor=%.2f", sl.Tenant, sl.Factor)
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
 	out := make([]string, 0, len(evs)+2)

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 )
 
 // Kind identifies a journal record type.
@@ -152,10 +153,26 @@ func checksum(p []byte) uint64 {
 }
 
 // Log is the write-ahead journal: an append-only byte buffer of framed
-// records. The zero value is an empty, ready-to-use log.
+// records, optionally mirrored to a durable sink. The zero value is an
+// empty, ready-to-use log.
 type Log struct {
 	buf  []byte
 	recs int
+
+	// Durable-sink mirroring: when set, every framed byte appended to the
+	// in-memory buffer is also written to sink. The first write error is
+	// latched in sinkErr; Close closes the sink exactly once.
+	sink       io.WriteCloser
+	sinkClosed bool
+	sinkErr    error
+}
+
+// SetSink attaches a durable sink: every subsequently appended frame is
+// mirrored to w, and Close closes it. Passing nil detaches without closing.
+func (l *Log) SetSink(w io.WriteCloser) {
+	l.sink = w
+	l.sinkClosed = false
+	l.sinkErr = nil
 }
 
 // Append frames and appends one record.
@@ -163,12 +180,36 @@ func (l *Log) Append(r Record) {
 	payload := r.encode()
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	start := len(l.buf)
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	var sum [8]byte
 	binary.LittleEndian.PutUint64(sum[:], checksum(payload))
 	l.buf = append(l.buf, sum[:]...)
 	l.recs++
+	if l.sink != nil && !l.sinkClosed && l.sinkErr == nil {
+		if _, err := l.sink.Write(l.buf[start:]); err != nil {
+			l.sinkErr = fmt.Errorf("journal: sink write: %w", err)
+		}
+	}
+}
+
+// Close releases the durable sink, if any. It is idempotent: the first call
+// closes the sink exactly once and latches the result (preferring an earlier
+// latched write error); every later call returns that same result without
+// touching the sink again. A sink-less log closes to nil.
+func (l *Log) Close() error {
+	if l.sinkClosed {
+		return l.sinkErr
+	}
+	l.sinkClosed = true
+	if l.sink == nil {
+		return l.sinkErr
+	}
+	if err := l.sink.Close(); err != nil && l.sinkErr == nil {
+		l.sinkErr = fmt.Errorf("journal: sink close: %w", err)
+	}
+	return l.sinkErr
 }
 
 // Len returns the number of appended records (before any tearing).

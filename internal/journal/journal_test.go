@@ -180,3 +180,110 @@ func FuzzReplay(f *testing.F) {
 		}
 	})
 }
+
+// sinkCloser is an in-memory durable sink with fault and accounting knobs.
+type sinkCloser struct {
+	bytes.Buffer
+	closes  int
+	failAll bool
+}
+
+func (s *sinkCloser) Write(p []byte) (int, error) {
+	if s.failAll {
+		return 0, errFull
+	}
+	return s.Buffer.Write(p)
+}
+
+func (s *sinkCloser) Close() error {
+	s.closes++
+	return nil
+}
+
+var errFull = errorString("sink full")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestSinkMirrorsFrames: every Append is mirrored to the sink byte-for-byte,
+// so the durable copy replays exactly like the in-memory log.
+func TestSinkMirrorsFrames(t *testing.T) {
+	var l Log
+	sink := &sinkCloser{}
+	l.SetSink(sink)
+	for _, r := range sample() {
+		l.Append(r)
+	}
+	if !bytes.Equal(sink.Bytes(), l.Bytes()) {
+		t.Fatalf("sink copy (%d bytes) differs from log buffer (%d bytes)",
+			sink.Len(), l.Size())
+	}
+	var replay Log
+	replay.buf = append([]byte(nil), sink.Bytes()...)
+	recs, torn := replay.ReplayLog()
+	if torn != 0 || len(recs) != len(sample()) {
+		t.Fatalf("sink copy replays %d records (torn=%d), want %d", len(recs), torn, len(sample()))
+	}
+}
+
+// TestCloseIdempotentAndLateAppends: Close closes the sink exactly once;
+// repeat Closes return the same error; appends after Close still land in
+// the in-memory log (crash simulation reads it) but never touch the closed
+// sink.
+func TestCloseIdempotentAndLateAppends(t *testing.T) {
+	var l Log
+	sink := &sinkCloser{}
+	l.SetSink(sink)
+	l.Append(Record{Kind: KindJobSubmit, A: 1})
+	if err := l.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	before := sink.Len()
+	l.Append(Record{Kind: KindJobComplete, A: 1})
+	if sink.Len() != before {
+		t.Fatal("append after Close reached the closed sink")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("in-memory log lost the post-close append (len=%d)", l.Len())
+	}
+}
+
+// TestSinkWriteErrorLatched: the first sink write error stops further
+// mirroring and surfaces, wrapped, from Close — idempotently.
+func TestSinkWriteErrorLatched(t *testing.T) {
+	var l Log
+	sink := &sinkCloser{failAll: true}
+	l.SetSink(sink)
+	l.Append(Record{Kind: KindJobSubmit, A: 1})
+	l.Append(Record{Kind: KindJobSubmit, A: 2})
+	err := l.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the sink write error")
+	}
+	if again := l.Close(); again != err {
+		t.Fatalf("repeat Close returned %v, want latched %v", again, err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("in-memory log dropped records on sink failure (len=%d)", l.Len())
+	}
+}
+
+// TestCloseWithoutSink: a sink-less log (the default in-memory setup every
+// engine test uses) closes cleanly any number of times.
+func TestCloseWithoutSink(t *testing.T) {
+	var l Log
+	l.Append(Record{Kind: KindJobSubmit, A: 1})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("repeat Close: %v", err)
+	}
+}

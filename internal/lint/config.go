@@ -15,7 +15,7 @@ type Config struct {
 
 	// OrderedPkg reports whether a package holds order-sensitive scheduling
 	// or grouping state, binding the mapiter analyzer: engine, sched, group,
-	// partition.
+	// partition, session.
 	OrderedPkg func(path string) bool
 }
 
@@ -32,7 +32,8 @@ func DefaultConfig() *Config {
 		OrderedPkg: func(path string) bool {
 			switch path {
 			case "stark/internal/engine", "stark/internal/sched",
-				"stark/internal/group", "stark/internal/partition":
+				"stark/internal/group", "stark/internal/partition",
+				"stark/internal/session":
 				return true
 			}
 			return false

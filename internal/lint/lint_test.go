@@ -287,3 +287,59 @@ var t0 = time.Now()
 		t.Fatalf("external package must be out of scope; got %v", diags)
 	}
 }
+
+// TestSessionScopeOrdered pins the multi-tenant session layer into the
+// ordered-package policy: its dispatch and dedup state is order-sensitive
+// (DRR ring, running-entry table), so unsorted map sweeps must flag there,
+// and the sorted-walk idiom the package actually uses must stay clean with
+// zero suppressions — alongside the virtual-clock deadline arithmetic.
+func TestSessionScopeOrdered(t *testing.T) {
+	const badSrc = `package session
+
+func drain(running map[int]*int) []*int {
+	var out []*int
+	for _, e := range running {
+		out = append(out, e)
+	}
+	return out
+}
+`
+	diags := checkSource(t, "stark/internal/session", badSrc)
+	if len(diags) != 1 || diags[0].Analyzer != "mapiter" {
+		t.Fatalf("session: want one mapiter finding for an unsorted sweep, got %v", diags)
+	}
+
+	const goodSrc = `package session
+
+import (
+	"sort"
+	"time"
+)
+
+type entry struct{ key int }
+
+// runningDuplicate mirrors drr.go: the running table is walked in sorted
+// key order so the duplicate check is deterministic.
+func runningDuplicate(running map[int]*entry, key int) bool {
+	ids := make([]int, 0, len(running))
+	for id := range running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if running[id].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineAt mirrors armDeadline: both operands are virtual times.
+func deadlineAt(admitted, deadline time.Duration) time.Duration {
+	return admitted + deadline
+}
+`
+	if diags := checkSource(t, "stark/internal/session", goodSrc); len(diags) != 0 {
+		t.Fatalf("session idioms must lint clean in the ordered scope, got %v", diags)
+	}
+}

@@ -39,6 +39,11 @@ type RecoveryMetrics struct {
 	// failed on read; each was evicted and recomputed through lineage.
 	CorruptBlocks int `json:"corrupt_blocks"`
 
+	// JobCancellations counts jobs withdrawn through CancelJob (deadline
+	// expiry, admission-control shedding, driver shutdown) — cooperative
+	// unwinding, not failures.
+	JobCancellations int `json:"job_cancellations"`
+
 	// Driver fault-domain counters: crashes and completed restarts of the
 	// driver itself, write-ahead-journal records replayed across all
 	// restarts, and torn journal tails truncated during replay.

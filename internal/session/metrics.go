@@ -1,0 +1,93 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stats counts what the admission controller and dispatcher did. Mutations
+// happen on the engine's event-loop goroutine under the server's mutex;
+// Server.Stats returns a deep-copied snapshot safe to read anywhere.
+type Stats struct {
+	Submitted  int // Submit calls, including rejected ones
+	Admitted   int // submissions that entered a queue or subscribed to in-flight work
+	Dispatched int // queue entries handed to the engine
+	Completed  int // submissions delivered a successful result
+	Failed     int // submissions delivered an engine failure (not shed/deadline/close)
+
+	Shed             int // submissions failed fast with ErrOverload
+	DeadlineExceeded int // submissions cancelled on deadline expiry
+	Closed           int // submissions failed because the server closed
+
+	// DedupSubscriptions counts submissions satisfied by attaching to
+	// another tenant's identical in-flight computation instead of queueing
+	// their own. DuplicateComputations counts engine submissions made while
+	// an identical computation was already running — the dedup invariant the
+	// overload oracle pins to zero.
+	DedupSubscriptions    int
+	DuplicateComputations int
+
+	MaxQueued int // high-water mark of total queued entries
+
+	// QueueDelays records, per dispatched entry, virtual admission-to-
+	// dispatch time; Latencies records, per delivered result, virtual
+	// admission-to-delivery time (subscribers included).
+	QueueDelays []time.Duration
+	Latencies   []time.Duration
+}
+
+// clone deep-copies the snapshot so callers never alias live slices.
+func (s Stats) clone() Stats {
+	s.QueueDelays = append([]time.Duration(nil), s.QueueDelays...)
+	s.Latencies = append([]time.Duration(nil), s.Latencies...)
+	return s
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("submitted=%d admitted=%d dispatched=%d completed=%d failed=%d shed=%d deadline=%d dedupSubs=%d dupComputes=%d maxQueued=%d p50=%v p99=%v",
+		s.Submitted, s.Admitted, s.Dispatched, s.Completed, s.Failed,
+		s.Shed, s.DeadlineExceeded, s.DedupSubscriptions, s.DuplicateComputations,
+		s.MaxQueued,
+		Percentile(s.Latencies, 0.50).Round(time.Millisecond),
+		Percentile(s.Latencies, 0.99).Round(time.Millisecond))
+}
+
+// TenantStats is one tenant's view of the same counters, for fairness and
+// isolation reporting.
+type TenantStats struct {
+	Name      string
+	Quota     int
+	Submitted int
+	Admitted  int
+	Completed int
+	Failed    int
+	Shed      int
+	Deadline  int
+	Shared    int // results delivered via dedup subscription
+}
+
+// Percentile returns the p-th percentile (0 < p <= 1) of the durations
+// using nearest-rank on a sorted copy; 0 when the slice is empty.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
