@@ -52,9 +52,10 @@ bench-engine: lint
 	$(GO) test -bench=. -benchmem -benchtime=3x ./internal/engine/ ./internal/record/
 
 # Machine-readable parallel-data-plane measurements (wall-clock speedup,
-# virtual-time identity, allocation micros) -> BENCH_3.json.
+# virtual-time identity, allocation micros) -> BENCH_4.json, gated by the
+# checked-in allocs/op ceilings in bench_budget.json.
 bench-json: lint
-	$(GO) run ./cmd/starkbench -bench-json BENCH_3.json
+	$(GO) run ./cmd/starkbench -bench-json BENCH_4.json -bench-budget bench_budget.json
 
 examples:
 	$(GO) run ./examples/quickstart

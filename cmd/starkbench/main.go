@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +42,11 @@ var (
 )
 
 // runBenchJSON runs the deterministic-parallel-data-plane benchmark suite
-// and writes the machine-readable document (see BENCH_3.json) to path.
-func runBenchJSON(path string, quick bool, cores int) error {
+// and writes the machine-readable document (see BENCH_4.json) to path. When
+// budgetPath names a budget file, each optimized micro's allocs/op must stay
+// under its checked-in ceiling or the run fails (after writing the JSON, so
+// a regression still leaves the evidence on disk).
+func runBenchJSON(path string, quick bool, cores int, budgetPath string) error {
 	r, err := experiments.RunBench(experiments.BenchConfig{Quick: quick, Cores: cores})
 	if err != nil {
 		return err
@@ -60,6 +64,21 @@ func runBenchJSON(path string, quick bool, cores int) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if budgetPath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return fmt.Errorf("reading allocation budget: %w", err)
+	}
+	var budget experiments.Budget
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		return fmt.Errorf("parsing allocation budget %s: %w", budgetPath, err)
+	}
+	if err := r.CheckBudget(budget); err != nil {
+		return err
+	}
+	fmt.Printf("allocation budgets hold (%s)\n", budgetPath)
 	return nil
 }
 
@@ -269,7 +288,9 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "override the chaos profile's fault-schedule count (0 keeps the profile default)")
 		benchJSON = flag.String("bench-json", "",
 			"measure the parallel data plane (wall-clock 1-vs-N arms, hot-path micros) and write JSON to this path")
-		benchCores = flag.Int("bench-cores", 4, "worker-pool size of the parallel bench arm")
+		benchCores  = flag.Int("bench-cores", 4, "worker-pool size of the parallel bench arm")
+		benchBudget = flag.String("bench-budget", "",
+			"allocation-budget JSON (micro name -> max allocs/op); with -bench-json, fail if an optimized micro exceeds its ceiling")
 	)
 	flag.Parse()
 	tsvOut = *tsv
@@ -277,7 +298,7 @@ func main() {
 	dumpFaults = *dumpF
 	chaosSeeds = *seeds
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *quick, *benchCores); err != nil {
+		if err := runBenchJSON(*benchJSON, *quick, *benchCores, *benchBudget); err != nil {
 			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,68 @@
+package arena
+
+import "testing"
+
+func TestTakeZeroesReusedMemory(t *testing.T) {
+	var p Pool[int64]
+	s := p.Take(8)
+	for i := range s {
+		s[i] = int64(i + 1)
+	}
+	p.Reset()
+	s2 := p.Take(8)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused slice not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+func TestGrowKeepsEarlierSlicesValid(t *testing.T) {
+	var p Pool[int]
+	a := p.Take(100)
+	for i := range a {
+		a[i] = i
+	}
+	b := p.Take(100000) // forces a grow
+	_ = b
+	for i := range a {
+		if a[i] != i {
+			t.Fatalf("pre-grow slice corrupted at %d", i)
+		}
+	}
+}
+
+func TestTakeCapsPreventNeighborClobber(t *testing.T) {
+	var p Pool[int]
+	a := p.Take(4)
+	b := p.Take(4)
+	a = append(a, 99) // must reallocate, not write into b
+	_ = a
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("append into neighbor slice at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSteadyStateNoAlloc(t *testing.T) {
+	var p Pool[int32]
+	// Warm to steady-state size.
+	p.Take(1000)
+	p.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Take(500)
+		p.Take(500)
+		p.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Take allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestTakeZeroLen(t *testing.T) {
+	var p Pool[byte]
+	if s := p.Take(0); s != nil {
+		t.Fatalf("Take(0) = %v, want nil", s)
+	}
+}

@@ -74,8 +74,25 @@ func (e *Engine) ForceCheckpoint(r *rdd.RDD) {
 		}
 	}
 	r.Checkpointed = true
+	e.invalidateStageChains()
 	e.journalAppend(journal.Record{Kind: journal.KindCheckpoint, A: int64(r.ID)})
 	e.trace("checkpoint", -1, -1, -1, -1, r.String())
+}
+
+// invalidateStageChains drops every live stage's memoized NarrowChain.
+// Called whenever an RDD's Checkpointed flag flips while stages may be live
+// (mid-run ForceCheckpoint via drainDeferredCheckpoints, journal replay,
+// store reconciliation): the memo would otherwise keep walking through — or
+// stopping at — the wrong checkpoint frontier.
+func (e *Engine) invalidateStageChains() {
+	for _, st := range e.shuffleStages {
+		st.InvalidateChain()
+	}
+	for _, j := range e.jobTab {
+		for _, sr := range j.stages {
+			sr.st.InvalidateChain()
+		}
+	}
 }
 
 // deferCheckpoint parks an RDD whose checkpoint found no live executor;

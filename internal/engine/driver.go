@@ -317,6 +317,7 @@ func (e *Engine) replayJournal(recs []journal.Record, journaledMap map[[2]int]bo
 			journaledCP[int(rec.A)] = true
 			if r := e.graph.ByID(int(rec.A)); r != nil {
 				r.Checkpointed = true
+				e.invalidateStageChains()
 			}
 		case journal.KindBlacklist:
 			e.recMu.Lock()
@@ -356,6 +357,7 @@ func (e *Engine) reconcileStore(journaledMap map[[2]int]bool, journaledCP map[in
 			e.store.DropCheckpoint(b[0], b[1])
 			if r := e.graph.ByID(b[0]); r != nil {
 				r.Checkpointed = false
+				e.invalidateStageChains()
 			}
 			dropped++
 		}

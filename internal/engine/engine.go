@@ -245,6 +245,9 @@ type Engine struct {
 	batch    []*batchEntry
 	draining bool
 	par      int
+	// fuse keeps the batch accumulating across consecutive events at the
+	// same virtual instant (task-chunk fusion; see postStep in plane.go).
+	fuse bool
 
 	completed []metrics.JobMetrics
 	stats     Stats
@@ -300,7 +303,8 @@ func New(cfg Config) *Engine {
 	if e.par <= 0 {
 		e.par = runtime.GOMAXPROCS(0)
 	}
-	e.loop.SetPostStep(e.drainBatch)
+	e.fuse = !cfg.Execution.DisableEventFusion
+	e.loop.SetPostStep(e.postStep)
 	e.net = netsim.New(cfg.Network, e.loop)
 	e.hb = cfg.Heartbeat
 	n := e.cl.NumExecutors()
@@ -512,7 +516,7 @@ type task struct {
 	// result (epoch-fenced shuffle registration).
 	count     int64
 	collected map[int][]record.Record
-	mapOut    map[int]map[int]storage.Bucket
+	mapOut    map[int]*record.PartitionedBatch
 	// collectedFP holds per-partition fingerprints taken when collect
 	// staging aliased the partition data (STARK_CHECK_COW=1 only); they are
 	// re-verified at result-accept to catch copy-on-write violations.

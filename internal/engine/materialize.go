@@ -3,11 +3,11 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"stark/internal/cluster"
 	"stark/internal/journal"
+	"stark/internal/partition"
 	"stark/internal/rdd"
 	"stark/internal/record"
 	"stark/internal/storage"
@@ -102,80 +102,46 @@ func (e *Engine) runPlane(be *batchEntry) {
 	px.dur = overhead + px.acc.compute + px.acc.ioTotal() + gc
 }
 
-// bucketScratch holds the reusable dense bucketing arrays; the inner record
-// slices escape into storage.Bucket.Data, so only the outer arrays pool.
-type bucketScratch struct {
-	buckets [][]record.Record
-	bytes   []int64
-}
-
-var bucketScratchPool = sync.Pool{New: func() any { return new(bucketScratch) }}
-
 // bucketMapOutput buckets one computed map partition by the consumer's
 // partitioner and stages it on the task; the buckets register with the
 // shuffle service only when the driver accepts the task's result (see
 // commitMapOutputs), so an attempt whose executor epoch has moved on can
-// never install shuffle outputs. Bucket sizes accumulate record-by-record
-// during the bucketing pass — one walk over the data instead of a second
-// SizeOfSlice pass, with identical totals.
+// never install shuffle outputs.
+//
+// The partition is lifted into a columnar record.Batch — key slab, one-pass
+// FNV hashes, per-record sizes — and stably reordered bucket-major, so every
+// bucket is a span view over one backing array instead of a per-bucket
+// append-grown copy. Hash partitioners route through the precomputed slab
+// hashes; all transient index tables come from the plane's arena scratch.
+// Per-bucket byte totals reproduce the old record-by-record accumulation
+// exactly: ScaleBytes(sliceOverhead + Σ SizeOfRecord).
 func (e *Engine) bucketMapOutput(t *task, p int, data []record.Record, px *planeCtx) {
 	st := t.sr.st
 	part := st.Consumer.Partitioner
 	n := st.Consumer.Parts
-	out := make(map[int]storage.Bucket)
-	var total int64
-	if n > 4096 && n > 2*len(data) {
-		// Sparse: a dense bucket array would dwarf the data; group through a
-		// map instead.
-		type bk struct {
-			recs []record.Record
-			raw  int64
-		}
-		m := make(map[int]*bk, len(data))
-		for _, rec := range data {
-			b := part.PartitionFor(rec.Key)
-			g := m[b]
-			if g == nil {
-				g = &bk{}
-				m[b] = g
-			}
-			g.recs = append(g.recs, rec)
-			g.raw += record.SizeOfRecord(rec)
-		}
-		for b, g := range m {
-			bytes := e.cfg.Cluster.ScaleBytes(sliceOverheadBytes + g.raw)
-			out[b] = storage.Bucket{Data: g.recs, Bytes: bytes}
-			total += bytes
+	b := record.FromRecords(data)
+	nr := b.Len()
+	idx := px.scr.I32.Take(nr)
+	if hp, ok := part.(partition.Hash); ok {
+		for i := 0; i < nr; i++ {
+			idx[i] = int32(hp.PartitionForHash(b.Hash32(i)))
 		}
 	} else {
-		sc := bucketScratchPool.Get().(*bucketScratch)
-		if cap(sc.buckets) < n {
-			sc.buckets = make([][]record.Record, n)
-			sc.bytes = make([]int64, n)
+		for i := 0; i < nr; i++ {
+			idx[i] = int32(part.PartitionFor(b.Key(i)))
 		}
-		buckets := sc.buckets[:n]
-		raw := sc.bytes[:n]
-		for _, rec := range data {
-			b := part.PartitionFor(rec.Key)
-			buckets[b] = append(buckets[b], rec)
-			raw[b] += record.SizeOfRecord(rec)
-		}
-		for b := 0; b < n; b++ {
-			if buckets[b] == nil {
-				continue
-			}
-			bytes := e.cfg.Cluster.ScaleBytes(sliceOverheadBytes + raw[b])
-			out[b] = storage.Bucket{Data: buckets[b], Bytes: bytes}
-			total += bytes
-			buckets[b] = nil
-			raw[b] = 0
-		}
-		bucketScratchPool.Put(sc)
+	}
+	pb := b.PartitionStable(idx, n, &px.scr)
+	var total int64
+	for si := range pb.Spans {
+		sp := &pb.Spans[si]
+		sp.Bytes = e.cfg.Cluster.ScaleBytes(sliceOverheadBytes + sp.RawBytes)
+		total += sp.Bytes
 	}
 	if t.mapOut == nil {
-		t.mapOut = make(map[int]map[int]storage.Bucket)
+		t.mapOut = make(map[int]*record.PartitionedBatch)
 	}
-	t.mapOut[p] = out
+	t.mapOut[p] = pb
 	// Bucketing is a cheap pass over the data; the write hits disk.
 	px.acc.compute += e.cfg.Cluster.ComputeTime(total, 0.3)
 	px.acc.diskWrite += e.cfg.Cluster.DiskWriteTime(total)
@@ -194,7 +160,7 @@ func (e *Engine) commitMapOutputs(t *task) error {
 		if !ok {
 			continue
 		}
-		if err := e.store.WriteMapOutput(st.ShuffleID, p, out); err != nil {
+		if err := e.store.WriteMapOutputBatch(st.ShuffleID, p, out); err != nil {
 			return fmt.Errorf("%w: map output write shuffle %d part %d: %w", ErrStorage, st.ShuffleID, p, err)
 		}
 		e.journalAppend(journal.Record{Kind: journal.KindMapOutput,
@@ -254,7 +220,13 @@ func (px *planeCtx) materialize(r *rdd.RDD, p int) ([]record.Record, error) {
 				panic(fmt.Sprintf("engine: source %s[%d] mutated after graph construction (copy-on-write violation)", r, p))
 			}
 		}
-		bytes := e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
+		// Source partitions are immutable after graph construction, so the
+		// size walk is memoized through the partition-size overlay instead of
+		// re-walking the slice on every recompute.
+		bytes := px.partBytesOf(r, p)
+		if bytes <= 0 {
+			bytes = e.cfg.Cluster.ScaleBytes(record.SizeOfSlice(data))
+		}
 		if r.SourceFromDisk {
 			px.acc.diskRead += e.cfg.Cluster.DiskReadTime(bytes)
 		}

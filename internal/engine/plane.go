@@ -82,6 +82,12 @@ type planeCtx struct {
 	maxTT        map[*rdd.RDD]time.Duration
 	hits, misses int64
 
+	// scr backs the plane's transient tables (shuffle bucketing indexes,
+	// span permutations) with bump-allocated arenas. It is reset at the
+	// batch boundary when the context is released, so steady-state planes
+	// reuse one warm buffer per pool instead of allocating per task.
+	scr record.Scratch
+
 	dur time.Duration
 	err error
 }
@@ -111,8 +117,9 @@ func releasePlaneCtx(px *planeCtx) {
 	for i := range px.drops {
 		px.drops[i] = deferredDrop{}
 	}
+	px.scr.Reset()
 	*px = planeCtx{local: px.local, partBytes: px.partBytes, maxTT: px.maxTT,
-		ops: px.ops[:0], drops: px.drops[:0]}
+		ops: px.ops[:0], drops: px.drops[:0], scr: px.scr}
 	planeCtxPool.Put(px)
 }
 
@@ -225,10 +232,30 @@ func (px *planeCtx) dropCorrupt(checkpoint bool, a, b int, detail string) {
 	px.drops = append(px.drops, deferredDrop{checkpoint: checkpoint, a: a, b: b, detail: detail})
 }
 
+// postStep is the loop's event-boundary hook: it drains the deferred batch
+// unless fusion applies. With fusion on, the batch keeps accumulating while
+// the next pending event runs at the *same* virtual instant — a wave of
+// task launches scheduled for one timestamp (a stage epoch) then executes as
+// one coarse batch on the worker pool instead of many per-event slivers.
+// Fusion is deterministic: the decision depends only on the event queue's
+// timestamps, never on worker count or wall-clock, so parallelism 1 and N
+// see identical batches. Liveness holds because the batch always drains
+// before the clock advances (and drainBatch-at-join re-runs schedule at the
+// same instant), so no completion event is ever stranded.
+func (e *Engine) postStep() {
+	if e.fuse && len(e.batch) > 0 {
+		if at, ok := e.loop.NextAt(); ok && at == e.loop.Now() {
+			return
+		}
+	}
+	e.drainBatch()
+}
+
 // drainBatch is the event boundary: it executes every deferred task batch,
 // joins the results back in dispatch order, and reschedules. The loop's
-// post-step hook calls it after every event; SubmitJob, KillExecutor and
-// RestartExecutor call it explicitly for work dispatched outside the loop.
+// post-step hook calls it after every event (modulo same-instant fusion);
+// SubmitJob, KillExecutor and RestartExecutor call it explicitly for work
+// dispatched outside the loop.
 // Joins only replay buffered effects and schedule completion events — no
 // user callbacks run here — so re-entry cannot occur through job code; the
 // draining guard makes that assumption explicit.
@@ -253,23 +280,42 @@ func (e *Engine) drainBatch() {
 	e.draining = false
 }
 
-// runPlanes executes a batch's data planes. The worker pool engages only
-// when it cannot be observed: more than one plane, parallelism configured
-// above one, and no probabilistic storage-fault injection (whose RNG draws
-// must happen in dispatch order; StorageOp is draw-free at probability
-// zero). Otherwise planes run sequentially on the event-loop goroutine —
-// still deferred, so scheduling semantics are identical either way.
+// poolEligible reports whether the worker pool may run a batch of n planes.
+// The pool engages only when it cannot be observed: more than one plane,
+// parallelism configured above one, and no probabilistic storage-fault
+// injection. StorageErrorProb > 0 is the ONE fault knob that forces the
+// plane sequential: its per-operation RNG draws must happen in dispatch
+// order (StorageOp is draw-free at probability zero, so every other fault
+// kind — crashes, stragglers, block loss/corruption, net faults, driver
+// crashes, tenant storms — keeps the pool engaged). TestPoolEligibility
+// pins this contract so batch coarsening can never silently serialize chaos
+// runs.
+func (e *Engine) poolEligible(n int) bool {
+	return e.par > 1 && n > 1 && (e.inj == nil || e.inj.Schedule().StorageErrorProb <= 0)
+}
+
+// runPlanes executes a batch's data planes, on the worker pool when
+// poolEligible allows. Sequential fallback still defers, so scheduling
+// semantics are identical either way.
 func (e *Engine) runPlanes(batch []*batchEntry) {
 	for _, be := range batch {
 		be.px = e.newPlaneCtx(be.exec)
 	}
-	if e.par > 1 && len(batch) > 1 && (e.inj == nil || e.inj.Schedule().StorageErrorProb <= 0) {
+	if e.poolEligible(len(batch)) {
 		// Shuffle reads lazily rebuild their per-reduce index; force the
 		// rebuilds now so concurrent planes only ever read.
 		e.store.PrepareShuffleReads()
 		workers := e.par
 		if workers > len(batch) {
 			workers = len(batch)
+		}
+		// Workers claim contiguous chunks instead of single planes: one
+		// atomic per chunk, and neighboring planes (which tend to touch
+		// neighboring partitions) stay on one core. Fused event batches can
+		// run to hundreds of planes, where per-plane claiming contends.
+		chunk := len(batch) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
 		}
 		var next int64
 		var wg sync.WaitGroup
@@ -278,19 +324,24 @@ func (e *Engine) runPlanes(batch []*batchEntry) {
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(atomic.AddInt64(&next, 1)) - 1
-					if i >= len(batch) {
+					lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if lo >= len(batch) {
 						return
 					}
-					be := batch[i]
-					func() {
-						defer func() {
-							if r := recover(); r != nil {
-								be.panicked = r
-							}
+					hi := lo + chunk
+					if hi > len(batch) {
+						hi = len(batch)
+					}
+					for _, be := range batch[lo:hi] {
+						func() {
+							defer func() {
+								if r := recover(); r != nil {
+									be.panicked = r
+								}
+							}()
+							e.runPlane(be)
 						}()
-						e.runPlane(be)
-					}()
+					}
 				}
 			}()
 		}

@@ -1,0 +1,118 @@
+package engine
+
+// Satellite contract for the plane's sequential fallback: exactly ONE fault
+// knob — StorageErrorProb > 0 — forces the data plane sequential, because
+// its per-operation RNG draws must happen in dispatch order. Every other
+// fault kind is either scheduled at virtual times (draw-free during plane
+// execution) or rolls on control-plane RNG streams, so the worker pool
+// stays engaged and batch coarsening can never silently serialize chaos
+// runs. This test pins that predicate.
+
+import (
+	"testing"
+	"time"
+
+	"stark/internal/fault"
+)
+
+func TestPoolEligibility(t *testing.T) {
+	mk := func(s fault.Schedule, driverRecovery bool) *Engine {
+		cfg := testConfig()
+		cfg.Execution.Parallelism = 4
+		cfg.Faults = s
+		cfg.DriverRecovery = driverRecovery
+		return New(cfg)
+	}
+	ms := time.Millisecond
+	cases := []struct {
+		name     string
+		sched    fault.Schedule
+		driver   bool
+		wantPool bool
+	}{
+		{"no-faults", fault.Schedule{}, false, true},
+		{"storage-error-prob", fault.Schedule{StorageErrorProb: 0.01}, false, false},
+		{"crash", fault.Schedule{Crashes: []fault.Crash{{At: ms, Executor: 0, RestartAfter: ms}}}, false, true},
+		{"straggler", fault.Schedule{Stragglers: []fault.Straggler{{At: ms, For: ms, Executor: 0, Factor: 3}}}, false, true},
+		{"block-loss", fault.Schedule{BlockLoss: []fault.BlockLoss{{At: ms, Pick: 0}}}, false, true},
+		{"block-corrupt", fault.Schedule{BlockCorrupt: []fault.BlockCorrupt{{At: ms, Pick: 0}}}, false, true},
+		{"msg-drop", fault.Schedule{MsgDropProb: 0.5}, false, true},
+		{"net-partition", fault.Schedule{Partitions: []fault.Partition{{At: ms, For: ms, Executor: 0}}}, false, true},
+		{"net-delay", fault.Schedule{NetDelays: []fault.NetDelay{{At: ms, For: ms, Extra: ms}}}, false, true},
+		{"driver-crash", fault.Schedule{DriverCrashes: []fault.DriverCrash{{At: ms, RestartAfter: ms}}}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := mk(tc.sched, tc.driver)
+			if got := e.poolEligible(8); got != tc.wantPool {
+				t.Fatalf("%s: poolEligible(8) = %v, want %v", tc.name, got, tc.wantPool)
+			}
+			// Regardless of faults, a single plane never pools.
+			if e.poolEligible(1) {
+				t.Fatalf("%s: single-plane batch must not pool", tc.name)
+			}
+		})
+	}
+	// Parallelism 1 never pools, even fault-free.
+	cfg := testConfig()
+	cfg.Execution.Parallelism = 1
+	if New(cfg).poolEligible(8) {
+		t.Fatal("parallelism 1 must not pool")
+	}
+}
+
+// TestParallelMatchesSequentialWithoutFusion re-runs the byte-equality
+// oracle with task-chunk fusion disabled, so the par-1-vs-N contract is
+// pinned on both sides of the coarsening flag.
+func TestParallelMatchesSequentialWithoutFusion(t *testing.T) {
+	transcript := func(par int, seed int64) string {
+		t.Helper()
+		return parallelWorkloadTranscriptCfg(t, par, seed, fault.Schedule{}, true)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		want := transcript(1, seed)
+		if got := transcript(4, seed); got != want {
+			t.Fatalf("seed %d: unfused parallel diverged from sequential:\n%s", seed, diffLine(want, got))
+		}
+	}
+}
+
+// TestFusionPreservesJobResults checks that coarsening only re-times the
+// simulation's internals: the jobs' observable answers (counts, collected
+// partitions) are identical with fusion on and off, fault-free.
+func TestFusionPreservesJobResults(t *testing.T) {
+	results := func(disableFusion bool) string {
+		full := parallelWorkloadTranscriptCfg(t, 2, 9, fault.Schedule{}, disableFusion)
+		// Keep only the job-result lines; stats and Gantt legitimately move
+		// when batches coarsen.
+		var out string
+		for _, line := range splitLines(full) {
+			if len(line) >= 4 && (line[:4] == "job " || line[:2] == "  ") {
+				if len(line) >= 7 && line[:7] == "  task " {
+					continue
+				}
+				out += line + "\n"
+			}
+		}
+		return out
+	}
+	fused, unfused := results(false), results(true)
+	if fused != unfused {
+		t.Fatalf("fusion changed job results:\n%s", diffLine(unfused, fused))
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -3,8 +3,10 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -287,6 +289,202 @@ func microBucket(quick bool) BenchEntry {
 		})
 }
 
+// oldGroupSorted reproduces the map-of-indices grouping that
+// record.GroupByKeySorted replaced (one map lookup per record plus
+// append-grown group headers), as the baseline side of the join micro.
+func oldGroupSorted(rs []record.Record) []record.Grouped {
+	idx := make(map[string]int, len(rs))
+	groups := make([]record.Grouped, 0, 64)
+	counts := make([]int, 0, 64)
+	for _, r := range rs {
+		i, ok := idx[r.Key]
+		if !ok {
+			i = len(groups)
+			idx[r.Key] = i
+			groups = append(groups, record.Grouped{Key: r.Key})
+			counts = append(counts, 0)
+		}
+		counts[i]++
+	}
+	backing := make([]any, len(rs))
+	off := 0
+	for i := range groups {
+		groups[i].Values = backing[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for _, r := range rs {
+		i := idx[r.Key]
+		groups[i].Values = append(groups[i].Values, r.Value)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	return groups
+}
+
+// oldSumRecords reproduces the storage checksum as it was computed before
+// the key-slab path: a heap-allocated fnv.Hash64 fed one []byte(key)
+// conversion per record. Bit-identical to record.KeySum64.
+func oldSumRecords(data []record.Record) uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	for _, r := range data {
+		h.Write([]byte(r.Key))
+		h.Write([]byte{0xff})
+	}
+	cnt := uint64(len(data))
+	for i := 0; i < 8; i++ {
+		n[i] = byte(cnt >> (8 * i))
+	}
+	h.Write(n[:])
+	return h.Sum64()
+}
+
+// microJoin compares the replaced rdd.Join body (map-based grouping of both
+// sides, a key→group index map, append-grown output) against
+// record.JoinRecords (arena grouping + linear merge + exact-size output).
+func microJoin(quick bool) BenchEntry {
+	left := benchRecords(8000, 1200)
+	right := benchRecords(8000, 1200)
+	iters := 20
+	if quick {
+		iters = 5
+	}
+	var sink int
+	return microEntry("join", iters,
+		func() {
+			lg := oldGroupSorted(left)
+			rg := oldGroupSorted(right)
+			ridx := make(map[string]int, len(rg))
+			for i, grp := range rg {
+				ridx[grp.Key] = i
+			}
+			var out []record.Record
+			for _, lgrp := range lg {
+				i, ok := ridx[lgrp.Key]
+				if !ok {
+					continue
+				}
+				for _, lv := range lgrp.Values {
+					for _, rv := range rg[i].Values {
+						out = append(out, record.Record{Key: lgrp.Key, Value: record.Joined{Left: lv, Right: rv}})
+					}
+				}
+			}
+			sink += len(out)
+		},
+		func() {
+			sink += len(record.JoinRecords(left, right))
+		})
+}
+
+// microShuffleRW compares a full shuffle write+read round trip. Baseline is
+// the path as of BENCH_3: dense bucket append arrays at write, the
+// fnv.New64a/[]byte(key) checksum per bucket, then a read that re-hashes
+// every record to verify and concatenates through append regrowth.
+// Optimized is the columnar path the engine and store now share: one
+// record.Batch (key slab + memoized hashes/sizes), counting-sort
+// PartitionStable into span views, slab-range checksums at write AND
+// verify, and an exact-size concat — with the index scratch carved from a
+// reused arena.
+func microShuffleRW(quick bool) BenchEntry {
+	const maps, reduces, perMap = 8, 16, 10000
+	p := partition.NewHash(reduces)
+	mapData := make([][]record.Record, maps)
+	for m := range mapData {
+		rs := make([]record.Record, perMap)
+		for i := range rs {
+			rs[i] = record.Pair(fmt.Sprintf("k-%d-%05d", m, i), int64(i))
+		}
+		mapData[m] = rs
+	}
+	iters := 20
+	if quick {
+		iters = 5
+	}
+	var sink int
+	var scr record.Scratch
+	type rowBucket struct {
+		data []record.Record
+		sum  uint64
+	}
+	type spanBucket struct {
+		b      *record.Batch
+		lo, hi int32
+		sum    uint64
+	}
+	return microEntry("shuffle-rw", iters,
+		func() {
+			// Write: per map task, dense bucket append arrays, then the
+			// fnv.New64a/[]byte(key) checksum per bucket.
+			outputs := make([][]rowBucket, maps)
+			for m, data := range mapData {
+				buckets := make([][]record.Record, reduces)
+				for _, r := range data {
+					i := p.PartitionFor(r.Key)
+					buckets[i] = append(buckets[i], r)
+				}
+				bs := make([]rowBucket, reduces)
+				for i, b := range buckets {
+					bs[i] = rowBucket{data: b, sum: oldSumRecords(b)}
+				}
+				outputs[m] = bs
+			}
+			// Read: per reduce partition, re-hash every bucket's records to
+			// verify, then concatenate through append regrowth.
+			for r := 0; r < reduces; r++ {
+				var out []record.Record
+				for m := 0; m < maps; m++ {
+					rb := outputs[m][r]
+					if oldSumRecords(rb.data) != rb.sum {
+						panic("baseline checksum mismatch")
+					}
+					out = append(out, rb.data...)
+				}
+				sink += len(out)
+			}
+		},
+		func() {
+			// Write: per map task, one columnar batch partitioned by counting
+			// sort into span views, checksums off the key slab.
+			outputs := make([][]spanBucket, maps)
+			for m, data := range mapData {
+				b := record.FromRecords(data)
+				n := b.Len()
+				idx := scr.I32.Take(n)
+				for i := 0; i < n; i++ {
+					idx[i] = int32(p.PartitionForHash(b.Hash32(i)))
+				}
+				pb := b.PartitionStable(idx, reduces, &scr)
+				bs := make([]spanBucket, reduces)
+				for _, sp := range pb.Spans {
+					bs[sp.Part] = spanBucket{
+						b: pb.Batch, lo: sp.Lo, hi: sp.Hi,
+						sum: pb.Batch.KeySumRange(int(sp.Lo), int(sp.Hi)),
+					}
+				}
+				outputs[m] = bs
+				scr.Reset()
+			}
+			// Read: slab-range verify, then one exact-size concat per reduce
+			// partition.
+			for r := 0; r < reduces; r++ {
+				total := int32(0)
+				for m := 0; m < maps; m++ {
+					sb := outputs[m][r]
+					if sb.b.KeySumRange(int(sb.lo), int(sb.hi)) != sb.sum {
+						panic("optimized checksum mismatch")
+					}
+					total += sb.hi - sb.lo
+				}
+				out := make([]record.Record, 0, total)
+				for m := 0; m < maps; m++ {
+					sb := outputs[m][r]
+					out = append(out, sb.b.Records()[sb.lo:sb.hi]...)
+				}
+				sink += len(out)
+			}
+		})
+}
+
 // RunBench produces the BENCH_<n>.json measurements.
 func RunBench(cfg BenchConfig) (*BenchResult, error) {
 	cores := cfg.Cores
@@ -310,8 +508,51 @@ func RunBench(cfg BenchConfig) (*BenchResult, error) {
 		}
 		res.Entries = append(res.Entries, e)
 	}
-	res.Entries = append(res.Entries, microGroupByKey(cfg.Quick), microBucket(cfg.Quick))
+	res.Entries = append(res.Entries,
+		microGroupByKey(cfg.Quick), microBucket(cfg.Quick),
+		microShuffleRW(cfg.Quick), microJoin(cfg.Quick))
 	return res, nil
+}
+
+// Budget is the checked-in allocation ceiling for the optimized side of each
+// microbenchmark (bench_budget.json): name → max allocs/op. make bench-json
+// fails when an optimized path regresses past its ceiling, so allocation
+// wins cannot silently rot.
+type Budget map[string]float64
+
+// CheckBudget compares every micro entry against its ceiling. Macro entries
+// and micros without a ceiling are skipped (a new micro gets a budget by
+// being added to the file, not by defaulting).
+func (r *BenchResult) CheckBudget(b Budget) error {
+	var errs []string
+	for _, e := range r.Entries {
+		if e.Kind != "micro" {
+			continue
+		}
+		maxAllocs, ok := b[e.Name]
+		if !ok {
+			continue
+		}
+		if e.OptimizedAllocsOp > maxAllocs {
+			errs = append(errs, fmt.Sprintf("%s: %.1f allocs/op exceeds budget %.1f",
+				e.Name, e.OptimizedAllocsOp, maxAllocs))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("allocation budget exceeded:\n  %s", joinLines(errs))
+	}
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
 }
 
 // WriteJSON emits the result document.

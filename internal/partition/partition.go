@@ -61,6 +61,12 @@ func (h Hash) PartitionFor(key string) int {
 	return int(f.Sum32() % uint32(h.n))
 }
 
+// PartitionForHash maps a precomputed FNV-32a key hash to its partition,
+// bit-identical to PartitionFor on the hashed key. The columnar shuffle path
+// hashes every key once into the batch and routes through this instead of
+// re-hashing per record.
+func (h Hash) PartitionForHash(sum uint32) int { return int(sum % uint32(h.n)) }
+
 // Equivalent implements Partitioner.
 func (h Hash) Equivalent(other Partitioner) bool {
 	o, ok := other.(Hash)

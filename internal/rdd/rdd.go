@@ -412,25 +412,9 @@ func (g *Graph) Join(name string, p partition.Partitioner, left, right *RDD) *RD
 		Deps:        g.coGroupDeps(p, parents),
 		Namespace:   sharedNamespace(parents),
 		Transform: func(_ int, inputs [][]record.Record) []record.Record {
-			lg := record.GroupByKeySorted(inputs[0])
-			rg := record.GroupByKeySorted(inputs[1])
-			ridx := make(map[string]int, len(rg))
-			for i, grp := range rg {
-				ridx[grp.Key] = i
-			}
-			var out []record.Record
-			for _, lgrp := range lg {
-				i, ok := ridx[lgrp.Key]
-				if !ok {
-					continue
-				}
-				for _, lv := range lgrp.Values {
-					for _, rv := range rg[i].Values {
-						out = append(out, record.Record{Key: lgrp.Key, Value: record.Joined{Left: lv, Right: rv}})
-					}
-				}
-			}
-			return out
+			// Merge-join over the sorted group lists the arena-backed kernel
+			// produces — no right-side index map, exact-size output.
+			return record.JoinRecords(inputs[0], inputs[1])
 		},
 		CostFactor: 2.0,
 	})

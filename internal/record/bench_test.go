@@ -38,6 +38,48 @@ func BenchmarkGroupByKeySorted(b *testing.B) {
 	}
 }
 
+func BenchmarkJoin(b *testing.B) {
+	left := benchData(8000, 1200)
+	right := benchData(8000, 1200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(JoinRecords(left, right)) == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkFromRecords(b *testing.B) {
+	data := benchData(20000, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FromRecords(data).Len() != len(data) {
+			b.Fatal("length mismatch")
+		}
+	}
+}
+
+func BenchmarkPartitionStable(b *testing.B) {
+	data := benchData(20000, 20000)
+	const parts = 64
+	var scr Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt := FromRecords(data)
+		idx := scr.I32.Take(bt.Len())
+		for j := range idx {
+			idx[j] = int32(bt.Hash32(j) % parts)
+		}
+		if pb := bt.PartitionStable(idx, parts, &scr); len(pb.Spans) == 0 {
+			b.Fatal("no spans")
+		}
+		scr.Reset()
+	}
+}
+
 func BenchmarkFingerprint(b *testing.B) {
 	data := benchData(20000, 1500)
 	b.ReportAllocs()

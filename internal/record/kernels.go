@@ -1,0 +1,140 @@
+package record
+
+import (
+	"sort"
+	"sync"
+
+	"stark/internal/arena"
+)
+
+// groupScratch is the per-call transient state of the grouping kernel: an
+// open-addressing hash table plus per-record and per-group index columns,
+// all carved from one arena so a steady-state grouping pass allocates only
+// its escaping outputs (the group headers and the shared values backing).
+type groupScratch struct {
+	i32 arena.Pool[int32]
+	u32 arena.Pool[uint32]
+}
+
+var groupScratchPool = sync.Pool{New: func() any { return new(groupScratch) }}
+
+// GroupByKeySorted groups a record slice by key and returns the groups in
+// ascending key order. It is the allocation-lean replacement for GroupByKey
+// on hot paths: keys are FNV-hashed once into an open-addressing table of
+// arena-backed int32 slots (no map, no per-key allocation), group sizes are
+// counted in the same pass, and every group's Values are carved out of one
+// shared backing array — a partition groups in a handful of allocations
+// regardless of key count. Consumers must treat Values as read-only
+// (appending to one group would clobber its neighbor), which the engine's
+// purity contract already demands.
+func GroupByKeySorted(rs []Record) []Grouped {
+	n := len(rs)
+	if n == 0 {
+		return nil
+	}
+	sc := groupScratchPool.Get().(*groupScratch)
+	hs := sc.u32.Take(n)
+	for i := 0; i < n; i++ {
+		hs[i] = fnv32aString(rs[i].Key)
+	}
+	tsize := 1
+	for tsize < 2*n {
+		tsize <<= 1
+	}
+	mask := uint32(tsize - 1)
+	table := sc.i32.Take(tsize) // 0 = empty, else group id + 1
+	gidOf := sc.i32.Take(n)
+	counts := sc.i32.Take(n)
+	firstRec := sc.i32.Take(n)
+	ngroups := int32(0)
+	for i := 0; i < n; i++ {
+		h := hs[i]
+		slot := h & mask
+		for {
+			g := table[slot]
+			if g == 0 {
+				table[slot] = ngroups + 1
+				firstRec[ngroups] = int32(i)
+				counts[ngroups] = 1
+				gidOf[i] = ngroups
+				ngroups++
+				break
+			}
+			if fi := firstRec[g-1]; hs[fi] == h && rs[fi].Key == rs[i].Key {
+				gidOf[i] = g - 1
+				counts[g-1]++
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	groups := make([]Grouped, ngroups)
+	backing := make([]any, n)
+	starts := sc.i32.Take(int(ngroups))
+	cursor := sc.i32.Take(int(ngroups))
+	var off int32
+	for g := int32(0); g < ngroups; g++ {
+		starts[g] = off
+		off += counts[g]
+		groups[g] = Grouped{
+			Key:    rs[firstRec[g]].Key,
+			Values: backing[starts[g] : starts[g]+counts[g] : starts[g]+counts[g]],
+		}
+	}
+	for i := 0; i < n; i++ {
+		g := gidOf[i]
+		backing[starts[g]+cursor[g]] = rs[i].Value
+		cursor[g]++
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	sc.i32.Reset()
+	sc.u32.Reset()
+	groupScratchPool.Put(sc)
+	return groups
+}
+
+// JoinRecords computes the inner join of two record slices: for every key
+// present on both sides, the cross-product of left and right values as
+// Joined pairs, keys ascending, left then right values in input order — the
+// exact output the map-based rdd.Join produced. Both sides group through the
+// arena-backed kernel and the sorted group lists merge linearly, so the only
+// allocations besides grouping are the exact-size output slice and the
+// Joined boxes the API requires.
+func JoinRecords(left, right []Record) []Record {
+	lg := GroupByKeySorted(left)
+	rg := GroupByKeySorted(right)
+	total := 0
+	for i, j := 0, 0; i < len(lg) && j < len(rg); {
+		switch {
+		case lg[i].Key < rg[j].Key:
+			i++
+		case lg[i].Key > rg[j].Key:
+			j++
+		default:
+			total += len(lg[i].Values) * len(rg[j].Values)
+			i++
+			j++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Record, 0, total)
+	for i, j := 0, 0; i < len(lg) && j < len(rg); {
+		switch {
+		case lg[i].Key < rg[j].Key:
+			i++
+		case lg[i].Key > rg[j].Key:
+			j++
+		default:
+			for _, lv := range lg[i].Values {
+				for _, rv := range rg[j].Values {
+					out = append(out, Record{Key: lg[i].Key, Value: Joined{Left: lv, Right: rv}})
+				}
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -139,42 +139,6 @@ type Grouped struct {
 	Values []any
 }
 
-// GroupByKeySorted groups a record slice by key and returns the groups in
-// ascending key order. It is the allocation-lean replacement for GroupByKey
-// on hot paths: instead of growing one values slice per key (an allocation
-// storm proportional to group count), it counts group sizes in a first pass
-// and carves every group's Values out of one shared backing array, so a
-// partition groups in a handful of allocations regardless of key count.
-// Consumers must treat Values as read-only (appending to one group would
-// clobber its neighbor), which the engine's purity contract already demands.
-func GroupByKeySorted(rs []Record) []Grouped {
-	idx := make(map[string]int, len(rs))
-	groups := make([]Grouped, 0, 64)
-	counts := make([]int, 0, 64)
-	for _, r := range rs {
-		i, ok := idx[r.Key]
-		if !ok {
-			i = len(groups)
-			idx[r.Key] = i
-			groups = append(groups, Grouped{Key: r.Key})
-			counts = append(counts, 0)
-		}
-		counts[i]++
-	}
-	backing := make([]any, len(rs))
-	off := 0
-	for i := range groups {
-		groups[i].Values = backing[off : off : off+counts[i]]
-		off += counts[i]
-	}
-	for _, r := range rs {
-		i := idx[r.Key]
-		groups[i].Values = append(groups[i].Values, r.Value)
-	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
-	return groups
-}
-
 // AsInt64 converts numeric values the engine produces to int64, with ok
 // reporting success. Counting and reduce helpers use it to stay total.
 func AsInt64(v any) (int64, bool) {

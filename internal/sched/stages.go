@@ -29,6 +29,12 @@ type Stage struct {
 	// Parents are the shuffle-map stages producing the shuffles this
 	// stage's narrow chain reads.
 	Parents []*Stage
+
+	// chain memoizes NarrowChain. The scheduler walks the chain per task
+	// per scheduling round (locality preferences), which used to allocate a
+	// map, a queue and a slice each time. Invalidated by InvalidateChain
+	// when a checkpoint lands mid-job and truncates the chain.
+	chain []*rdd.RDD
 }
 
 // NumTasks is the stage's task count before grouping: one per partition of
@@ -104,8 +110,13 @@ func (b *builder) parentsOf(r *rdd.RDD) []*Stage {
 
 // NarrowChain returns the RDDs computed inside the stage: the output RDD
 // and every RDD reachable from it over narrow dependencies without crossing
-// a checkpoint, output first, parents after (BFS order).
+// a checkpoint, output first, parents after (BFS order). The result is
+// memoized; callers must treat it as read-only. Anything that flips an
+// RDD's Checkpointed flag while stages are live must call InvalidateChain.
 func (s *Stage) NarrowChain() []*rdd.RDD {
+	if s.chain != nil {
+		return s.chain
+	}
 	var out []*rdd.RDD
 	seen := make(map[int]bool)
 	queue := []*rdd.RDD{s.Output}
@@ -125,8 +136,14 @@ func (s *Stage) NarrowChain() []*rdd.RDD {
 			queue = append(queue, d.Parent)
 		}
 	}
+	s.chain = out
 	return out
 }
+
+// InvalidateChain drops the memoized NarrowChain so the next call recomputes
+// it. The engine calls it on every live stage after ForceCheckpoint marks an
+// RDD checkpointed (the chain must now stop at the checkpoint).
+func (s *Stage) InvalidateChain() { s.chain = nil }
 
 // AllStages flattens the stage DAG rooted at result into a deduplicated
 // list, result last, parents before children.

@@ -9,7 +9,6 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"stark/internal/record"
@@ -42,33 +41,37 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 // Bucket is one (map partition → reduce partition) shuffle output file.
 // The store stamps a content checksum at write time (sum); reads verify it,
 // so a corrupted persisted block surfaces as an integrity error instead of
-// silently wrong bytes.
+// silently wrong bytes. Buckets written through WriteMapOutputBatch also
+// carry a span view into the columnar batch, so verification runs off the
+// contiguous key slab instead of re-walking boxed records.
 type Bucket struct {
 	Data  []record.Record
 	Bytes int64
 
 	sum uint64
+	// Columnar span view (batch rows [lo, hi)); nil for legacy row buckets.
+	batch  *record.Batch
+	lo, hi int32
+}
+
+// verify recomputes the bucket's checksum and compares it to the stamped
+// one. Batch-backed buckets hash the key slab (no per-record byte-slice
+// conversions); legacy buckets re-walk their rows.
+func (b Bucket) verify() bool {
+	if b.batch != nil {
+		return b.sum == b.batch.KeySumRange(int(b.lo), int(b.hi))
+	}
+	return b.sum == sumRecords(b.Data)
 }
 
 // sumRecords computes the cheap integrity checksum stored with a persisted
 // block: FNV-64a over the record keys plus the record count. It exists to
 // catch *injected* corruption deterministically, not to survive adversarial
 // collisions, so hashing values is deliberately skipped (values are
-// arbitrary `any` and hashing them would dominate hot read paths).
-func sumRecords(data []record.Record) uint64 {
-	h := fnv.New64a()
-	var n [8]byte
-	for _, r := range data {
-		h.Write([]byte(r.Key))
-		h.Write([]byte{0xff})
-	}
-	cnt := uint64(len(data))
-	for i := 0; i < 8; i++ {
-		n[i] = byte(cnt >> (8 * i))
-	}
-	h.Write(n[:])
-	return h.Sum64()
-}
+// arbitrary `any` and hashing them would dominate hot read paths). The hash
+// is record.KeySum64, shared with the batch slab checksum so the per-record
+// and columnar paths can never drift.
+func sumRecords(data []record.Record) uint64 { return record.KeySum64(data) }
 
 type shuffleState struct {
 	numMaps    int
@@ -201,6 +204,48 @@ func (s *Store) WriteMapOutput(id, mapPart int, buckets map[int]Bucket) error {
 	return nil
 }
 
+// WriteMapOutputBatch commits one map task's buckets from a partitioned
+// columnar batch: every bucket is a span view over one shared reordered row
+// array and key slab, and checksums come off the slab instead of per-record
+// re-hashing. Semantically identical to WriteMapOutput over the equivalent
+// per-bucket row slices.
+func (s *Store) WriteMapOutputBatch(id, mapPart int, pb *record.PartitionedBatch) error {
+	if err := s.injected(OpMapOutputWrite); err != nil {
+		return err
+	}
+	st, ok := s.shuffles[id]
+	if !ok {
+		return fmt.Errorf("storage: unknown shuffle %d", id)
+	}
+	if mapPart < 0 || mapPart >= st.numMaps {
+		return fmt.Errorf("storage: shuffle %d map partition %d out of range [0,%d)", id, mapPart, st.numMaps)
+	}
+	rows := pb.Batch.Records()
+	cp := make(map[int]Bucket, len(pb.Spans))
+	for _, sp := range pb.Spans {
+		if sp.Part < 0 || sp.Part >= st.numReduces {
+			return fmt.Errorf("storage: shuffle %d reduce partition %d out of range [0,%d)", id, sp.Part, st.numReduces)
+		}
+		cp[sp.Part] = Bucket{
+			Data:  rows[sp.Lo:sp.Hi:sp.Hi],
+			Bytes: sp.Bytes,
+			sum:   pb.Batch.KeySumRange(int(sp.Lo), int(sp.Hi)),
+			batch: pb.Batch,
+			lo:    sp.Lo,
+			hi:    sp.Hi,
+		}
+	}
+	if _, overwrite := st.outputs[mapPart]; overwrite {
+		st.dirty = true
+	} else if !st.dirty {
+		for r, b := range cp {
+			st.byReduce[r] = append(st.byReduce[r], reduceBucket{mapPart: mapPart, b: b})
+		}
+	}
+	st.outputs[mapPart] = cp
+	return nil
+}
+
 // HasMapOutput reports whether a map partition's output is committed.
 func (s *Store) HasMapOutput(id, mapPart int) bool {
 	st, ok := s.shuffles[id]
@@ -265,14 +310,26 @@ func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
 	if st.dirty {
 		st.rebuildIndex()
 	}
-	var out []record.Record
+	// Verify first, then concatenate into an exact-size slice: the append
+	// loop used to re-grow out log(n) times, and verification re-hashed every
+	// record through a byte-slice conversion. The error surfaced (first
+	// corrupt bucket in map-partition order) is unchanged.
+	bs := st.byReduce[reducePart]
+	total := 0
 	var bytes int64
-	for _, rb := range st.byReduce[reducePart] {
-		if rb.b.sum != sumRecords(rb.b.Data) {
+	for _, rb := range bs {
+		if !rb.b.verify() {
 			return nil, 0, &CorruptError{Shuffle: id, MapPart: rb.mapPart}
 		}
-		out = append(out, rb.b.Data...)
+		total += len(rb.b.Data)
 		bytes += rb.b.Bytes
+	}
+	if total == 0 {
+		return nil, bytes, nil
+	}
+	out := make([]record.Record, 0, total)
+	for _, rb := range bs {
+		out = append(out, rb.b.Data...)
 	}
 	return out, bytes, nil
 }
@@ -307,7 +364,7 @@ func (s *Store) ReadCheckpoint(rdd, part int) ([]record.Record, int64, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("storage: no checkpoint for rdd %d partition %d", rdd, part)
 	}
-	if b.sum != sumRecords(b.Data) {
+	if !b.verify() {
 		return nil, 0, &CorruptError{Checkpoint: true, RDD: rdd, Part: part}
 	}
 	return b.Data, b.Bytes, nil

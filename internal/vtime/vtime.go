@@ -68,6 +68,17 @@ func (l *Loop) Now() time.Duration { return l.now }
 // Len reports the number of pending events.
 func (l *Loop) Len() int { return len(l.pq) }
 
+// NextAt peeks at the earliest pending event's deadline without running it;
+// ok is false when the queue is empty. The engine's event-fusion path uses
+// it to keep deferred data-plane batches accumulating while further events
+// remain at the current instant.
+func (l *Loop) NextAt() (time.Duration, bool) {
+	if len(l.pq) == 0 {
+		return 0, false
+	}
+	return l.pq[0].at, true
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // clamps to the current time (the event runs next, after already-due events
 // scheduled earlier).
