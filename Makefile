@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-nightly multitenant bench bench-json bench-engine examples experiments clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-nightly multitenant cachepolicy bench bench-json bench-engine examples experiments clean
 
 all: build lint test
 
@@ -42,6 +42,13 @@ chaos-nightly:
 multitenant:
 	$(GO) test -race -cpu 1,4 ./internal/session/
 	$(GO) run ./cmd/starkbench -experiment multitenant -seeds $(SEEDS)
+
+# Eviction-policy A/B: engine and cluster tests under the race detector at
+# 1 and 4 procs, then the LRU-vs-DAG recompute comparison (SEEDS overrides
+# the per-arm seed count).
+cachepolicy:
+	$(GO) test -race -cpu 1,4 ./internal/cluster/ ./internal/engine/
+	$(GO) run ./cmd/starkbench -experiment cachepolicy -seeds $(SEEDS)
 
 bench: lint
 	$(GO) test -bench=. -benchmem -benchtime=1x .

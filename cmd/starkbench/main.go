@@ -236,6 +236,19 @@ func experimentsList() []experiment {
 			r.Print(os.Stdout)
 			return err
 		}},
+		{"cachepolicy", "LRU vs DAG-aware eviction A/B: recomputes-after-eviction under cache exhaustion (robustness suite)", func(quick bool) error {
+			cfg := experiments.DefaultCachePolicy()
+			if quick {
+				cfg.Seeds = 2
+				cfg.Rounds = 6
+			}
+			if chaosSeeds > 0 {
+				cfg.Seeds = chaosSeeds
+			}
+			r, err := experiments.RunCachePolicy(cfg)
+			r.Print(os.Stdout)
+			return err
+		}},
 		{"churn", "dynamic load/evict collection under correlated queries (Sec. I scenario)", func(bool) error {
 			r, err := experiments.RunChurn(experiments.DefaultChurn())
 			if err != nil {

@@ -47,6 +47,16 @@ type BlockCorruptFault = fault.BlockCorrupt
 // Requires WithDriverRecovery.
 type DriverCrashFault = fault.DriverCrash
 
+// MemPressureFault shrinks one executor's effective cache capacity to
+// Factor times its configured size for a window of virtual time; puts that
+// no longer fit degrade to counted cache refusals (compute-and-stream).
+type MemPressureFault = fault.MemPressure
+
+// ExecutorOOMFault arms an out-of-memory window on one executor: while
+// armed, a cache write the (possibly pressure-shrunk) capacity cannot admit
+// fails its task with ErrOOM, which retries and recomputes through lineage.
+type ExecutorOOMFault = fault.ExecutorOOM
+
 // NetworkConfig parameterizes the simulated control network: base one-way
 // delay, deterministic jitter, a random message-drop probability, and the
 // retransmission policy for reliable messages. The zero value is a perfect
@@ -64,8 +74,17 @@ type FaultStats = fault.Stats
 // measured recovery delays.
 type RecoveryStats = metrics.RecoveryMetrics
 
+// CacheStats aggregates the engine's memory-pressure counters: graceful
+// cache refusals, pinned-group refusals, OOM task failures, and recomputes
+// of previously evicted blocks.
+type CacheStats = metrics.CacheMetrics
+
 // ErrInjected marks errors produced by the fault injector.
 var ErrInjected = fault.ErrInjected
+
+// ErrOOM marks a task failed because a cache write exceeded its executor's
+// capacity inside an armed ExecutorOOMFault window.
+var ErrOOM = engine.ErrOOM
 
 // RandomFaultSchedule derives a randomized but fully deterministic fault
 // schedule from a seed: 1-3 executor crashes (never executor 0, always
@@ -162,9 +181,20 @@ func ValidateConfig(opts ...Option) error {
 	return engine.Validate(cfg)
 }
 
+// WithCachePolicy selects the executor-cache eviction policy: "lru" (the
+// default) or "dag", the DAG-aware policy that evicts zero-reference blocks
+// first and pins collection peer groups all-or-nothing.
+func WithCachePolicy(policy string) Option {
+	return func(c *engine.Config) { c.CachePolicy = policy }
+}
+
 // RecoveryStats reports the engine's fault-handling counters and measured
 // recovery delays so far.
 func (c *Context) RecoveryStats() RecoveryStats { return c.eng.Recovery() }
+
+// CacheStats reports the memory-pressure and eviction-policy counters so
+// far.
+func (c *Context) CacheStats() CacheStats { return c.eng.CacheStats() }
 
 // NetworkStats reports the control-network message counters so far.
 func (c *Context) NetworkStats() NetworkStats { return c.eng.Network().Stats() }

@@ -28,32 +28,84 @@ type blockEntry struct {
 	elem  *list.Element
 }
 
-// BlockStore is a per-executor LRU cache of partition blocks, measured in
-// simulated bytes.
+// BlockStore is a per-executor cache of partition blocks, measured in
+// simulated bytes, with a pluggable eviction policy (LRU baseline). A
+// MemPressure fault can shrink the effective capacity by a factor in
+// (0, 1]; Capacity and Pressure report the shrunk bound so every consumer
+// (GC model, admission ledger, put path) sees the same squeezed world.
 type BlockStore struct {
 	capacity int64
 	used     int64
 	blocks   map[BlockID]*blockEntry
 	lru      list.List // front = most recently used
+	policy   EvictionPolicy
+	// shrink is the mem-pressure capacity factor in (0, 1]; 1 = no
+	// pressure. Effective capacity = capacity * shrink.
+	shrink float64
 }
 
 // NewBlockStore returns a store with the given capacity in simulated bytes.
 func NewBlockStore(capacity int64) *BlockStore {
-	return &BlockStore{capacity: capacity, blocks: make(map[BlockID]*blockEntry)}
+	return &BlockStore{
+		capacity: capacity,
+		blocks:   make(map[BlockID]*blockEntry),
+		policy:   lruPolicy{},
+		shrink:   1,
+	}
 }
 
-// Capacity reports the configured capacity.
-func (s *BlockStore) Capacity() int64 { return s.capacity }
+// SetPolicy installs an eviction policy; nil restores the LRU baseline.
+func (s *BlockStore) SetPolicy(p EvictionPolicy) {
+	if p == nil {
+		p = lruPolicy{}
+	}
+	s.policy = p
+}
+
+// Policy reports the installed eviction policy.
+func (s *BlockStore) Policy() EvictionPolicy { return s.policy }
+
+// SetShrink sets the mem-pressure capacity factor; values outside (0, 1]
+// clamp to that range (0 would make every put fail as oversized rather
+// than model pressure). Shrinking below Used does not evict eagerly —
+// the next put pays the eviction, keeping pressure effects on the
+// deterministic put path.
+func (s *BlockStore) SetShrink(factor float64) {
+	if factor <= 0 {
+		factor = 0
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	s.shrink = factor
+}
+
+// Shrink reports the current mem-pressure capacity factor.
+func (s *BlockStore) Shrink() float64 { return s.shrink }
+
+// BaseCapacity reports the configured capacity, ignoring mem pressure.
+func (s *BlockStore) BaseCapacity() int64 { return s.capacity }
+
+// Capacity reports the effective capacity: the configured bound scaled by
+// the current mem-pressure shrink factor.
+func (s *BlockStore) Capacity() int64 {
+	if s.shrink >= 1 {
+		return s.capacity
+	}
+	return int64(float64(s.capacity) * s.shrink)
+}
 
 // Used reports the bytes currently cached.
 func (s *BlockStore) Used() int64 { return s.used }
 
-// Pressure reports Used/Capacity in [0, 1].
+// Pressure reports Used/Capacity in [0, 1] against the effective
+// (pressure-shrunk) capacity.
 func (s *BlockStore) Pressure() float64 {
-	if s.capacity <= 0 {
+	cap := s.Capacity()
+	if cap <= 0 {
 		return 1
 	}
-	p := float64(s.used) / float64(s.capacity)
+	p := float64(s.used) / float64(cap)
 	if p > 1 {
 		p = 1
 	}
@@ -100,52 +152,87 @@ func (s *BlockStore) BytesOf(id BlockID) (int64, bool) {
 	return e.bytes, true
 }
 
-// Put caches a block, evicting least-recently-used blocks as needed, and
-// returns the evicted ids. A block larger than the whole capacity is not
-// cached (ok = false), matching Spark's refusal to cache oversized
-// partitions rather than thrash.
+// PutStatus classifies the outcome of a checked put.
+type PutStatus int
+
+const (
+	// PutStored: the block is cached (evictions may have been paid).
+	PutStored PutStatus = iota
+	// PutTooLarge: the block exceeds the effective capacity on its own —
+	// it can never fit, so it is refused without evicting anything.
+	PutTooLarge
+	// PutPinnedBlocked: making room would require evicting members of a
+	// pinned peer group; the policy refused and nothing was evicted.
+	PutPinnedBlocked
+)
+
+func (st PutStatus) String() string {
+	switch st {
+	case PutStored:
+		return "stored"
+	case PutTooLarge:
+		return "too-large"
+	case PutPinnedBlocked:
+		return "pinned-blocked"
+	default:
+		return fmt.Sprintf("PutStatus(%d)", int(st))
+	}
+}
+
+// Put caches a block, evicting per the installed policy as needed, and
+// returns the evicted ids. ok = false means the put was refused (oversized
+// or pin-blocked) and the store is untouched; use PutChecked for the
+// refusal reason.
 func (s *BlockStore) Put(id BlockID, data []record.Record, bytes int64) (evicted []BlockID, ok bool) {
-	if bytes > s.capacity {
-		return nil, false
+	evicted, st := s.PutChecked(id, data, bytes)
+	return evicted, st == PutStored
+}
+
+// PutChecked caches a block, evicting per the installed policy, and
+// reports the outcome. The eviction plan is computed *before* any
+// mutation: a refused put — oversized against the effective capacity
+// (fresh put or grown re-put alike) or blocked on pinned peers — leaves
+// the store byte-for-byte unchanged, so degradation never thrashes.
+func (s *BlockStore) PutChecked(id BlockID, data []record.Record, bytes int64) ([]BlockID, PutStatus) {
+	cap := s.Capacity()
+	if bytes > cap {
+		// Oversized puts are refused outright, matching Spark's refusal
+		// to cache partitions larger than the store. This applies to
+		// re-puts of an already-cached id too: a grown re-put must not
+		// slip past the bound it could not enter through.
+		return nil, PutTooLarge
+	}
+	var current int64 // bytes already held by this id (re-put case)
+	if e, exists := s.blocks[id]; exists {
+		current = e.bytes
+	}
+	var evicted []BlockID
+	if need := s.used - current + bytes - cap; need > 0 {
+		plan := s.policy.Plan(s, need, id)
+		if !plan.OK {
+			if plan.PinBlocked {
+				return nil, PutPinnedBlocked
+			}
+			return nil, PutTooLarge
+		}
+		for _, vid := range plan.Victims {
+			if e, ok := s.blocks[vid]; ok && vid != id {
+				s.removeEntry(e)
+				evicted = append(evicted, vid)
+			}
+		}
 	}
 	if e, exists := s.blocks[id]; exists {
-		s.used -= e.bytes
+		s.used += bytes - e.bytes
 		e.data, e.bytes = data, bytes
-		s.used += bytes
 		s.lru.MoveToFront(e.elem)
-		evicted = s.evictOver(id)
-		return evicted, true
+		return evicted, PutStored
 	}
 	e := &blockEntry{id: id, data: data, bytes: bytes}
 	e.elem = s.lru.PushFront(e)
 	s.blocks[id] = e
 	s.used += bytes
-	evicted = s.evictOver(id)
-	return evicted, true
-}
-
-// evictOver evicts LRU blocks (never the one named keep) until under
-// capacity.
-func (s *BlockStore) evictOver(keep BlockID) []BlockID {
-	var evicted []BlockID
-	for s.used > s.capacity {
-		back := s.lru.Back()
-		if back == nil {
-			break
-		}
-		e := back.Value.(*blockEntry)
-		if e.id == keep {
-			// The protected block is the only one left; nothing to evict.
-			if s.lru.Len() == 1 {
-				break
-			}
-			s.lru.MoveToFront(back)
-			continue
-		}
-		s.removeEntry(e)
-		evicted = append(evicted, e.id)
-	}
-	return evicted
+	return evicted, PutStored
 }
 
 // Remove drops a block if present, reporting whether it was cached.

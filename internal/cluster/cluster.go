@@ -128,15 +128,25 @@ func (c *Cluster) TotalSlots() int {
 // CachePut stores a block on an executor and updates the directory,
 // returning the evicted block ids (already removed from the directory).
 func (c *Cluster) CachePut(exec int, id BlockID, data []record.Record, bytes int64) []BlockID {
+	evicted, _ := c.CachePutChecked(exec, id, data, bytes)
+	return evicted
+}
+
+// CachePutChecked stores a block on an executor, updates the directory,
+// and reports the put outcome so the engine can count graceful refusals
+// (and fail the task under an armed ExecutorOOM window). A put to a dead
+// executor reports PutStored with no directory change, matching CachePut's
+// historical silence — the block simply vanishes with the executor.
+func (c *Cluster) CachePutChecked(exec int, id BlockID, data []record.Record, bytes int64) ([]BlockID, PutStatus) {
 	e := c.executors[exec]
 	if e.dead {
-		return nil
+		return nil, PutStored
 	}
-	evicted, ok := e.Store.Put(id, data, bytes)
+	evicted, st := e.Store.PutChecked(id, data, bytes)
 	for _, ev := range evicted {
 		c.dropLocation(ev, exec)
 	}
-	if ok {
+	if st == PutStored {
 		locs, present := c.directory[id]
 		if !present {
 			locs = make(map[int]bool)
@@ -144,7 +154,37 @@ func (c *Cluster) CachePut(exec int, id BlockID, data []record.Record, bytes int
 		}
 		locs[exec] = true
 	}
-	return evicted
+	return evicted, st
+}
+
+// SetPolicy installs an eviction policy on every executor's store (shared
+// instance; policies are control-plane-only). nil restores the LRU
+// baseline.
+func (c *Cluster) SetPolicy(p EvictionPolicy) {
+	for _, e := range c.executors {
+		e.Store.SetPolicy(p)
+	}
+}
+
+// SetMemPressure sets an executor's mem-pressure capacity shrink factor;
+// factor >= 1 restores full capacity. Dead executors keep the setting for
+// their next incarnation's store state (the store survives Restart with a
+// Clear, not a rebuild).
+func (c *Cluster) SetMemPressure(exec int, factor float64) {
+	c.executors[exec].Store.SetShrink(factor)
+}
+
+// TotalEffectiveCapacity sums the effective (pressure-shrunk) cache
+// capacity across live executors — the admission ledger's view of how
+// much memory the cluster can actually pin right now.
+func (c *Cluster) TotalEffectiveCapacity() int64 {
+	var total int64
+	for _, e := range c.executors {
+		if !e.dead {
+			total += e.Store.Capacity()
+		}
+	}
+	return total
 }
 
 // CacheGet reads a block from one executor's cache.

@@ -198,6 +198,11 @@ func (e *Engine) CrashDriver(tearTail int) {
 	e.nsParts = make(map[string]int)
 	e.streamSteps = make(map[string]map[int]int)
 	e.detectorArmed = false
+	if e.dagPol != nil {
+		// DAG refcounts are volatile driver memory; resubmission re-charges
+		// fresh stage runs (chargeStage) after the journal replays.
+		e.dagPol.ResetRefs()
+	}
 }
 
 // RestartDriver brings the driver back: journal replay, storage

@@ -99,6 +99,11 @@ type Config struct {
 	// driver (fault.DriverCrash), replaying the journal to rebuild its
 	// control-plane state (driver.go).
 	DriverRecovery bool
+	// CachePolicy selects the executor-cache eviction policy: "" or "lru"
+	// keeps the LRU baseline; "dag" installs the DAG-aware policy that
+	// evicts zero-reference blocks first and pins peer groups all-or-nothing
+	// (cachepolicy.go).
+	CachePolicy string
 }
 
 // DefaultConfig mirrors stock Spark: no Stark features enabled.
@@ -193,11 +198,22 @@ type Engine struct {
 	blacklistUntil map[int]time.Duration
 	pendingCP      []*rdd.RDD
 	inj            *fault.Injector
-	// recMu guards rec, blacklist, and blacklistUntil so RecoveryStats /
-	// Blacklisted snapshots may be taken from another goroutine while a job
-	// runs. All writes happen on the event-loop goroutine.
-	recMu sync.Mutex
-	rec   metrics.RecoveryMetrics
+	// recMu guards rec, cacheRec, blacklist, and blacklistUntil so
+	// RecoveryStats / CacheStats / Blacklisted snapshots may be taken from
+	// another goroutine while a job runs. All writes happen on the
+	// event-loop goroutine.
+	recMu    sync.Mutex
+	rec      metrics.RecoveryMetrics
+	cacheRec metrics.CacheMetrics
+
+	// Memory-pressure state (cachepolicy.go / plane.go): the DAG-aware
+	// eviction policy when Config.CachePolicy selects it, the executors
+	// currently inside an armed ExecutorOOM window, and every block a
+	// policy eviction ever dropped (for counting recomputes-after-eviction;
+	// read-only while planes run, mutated only at join).
+	dagPol      *cluster.DAGPolicy
+	oomArmed    map[int]bool
+	evictedEver map[cluster.BlockID]bool
 
 	// Control-plane transport and failure detection (detect.go). The
 	// network exists even when perfect, so launch/result routing is uniform;
@@ -297,8 +313,11 @@ func New(cfg Config) *Engine {
 		blacklist:      make(map[int]bool),
 		blacklistUntil: make(map[int]time.Duration),
 		wakeIndex:      make(map[cluster.BlockID][]*task),
+		oomArmed:       make(map[int]bool),
+		evictedEver:    make(map[cluster.BlockID]bool),
 		rng:            rand.New(rand.NewSource(seed)),
 	}
+	e.installCachePolicy()
 	e.par = cfg.Execution.Parallelism
 	if e.par <= 0 {
 		e.par = runtime.GOMAXPROCS(0)
@@ -366,6 +385,9 @@ func normalizeHeartbeat(hb *config.Heartbeat) error {
 // without constructing an engine — the error-returning alternative to New's
 // panic-on-misconfiguration contract.
 func Validate(cfg Config) error {
+	if err := validateCachePolicy(cfg.CachePolicy); err != nil {
+		return err
+	}
 	return normalizeHeartbeat(&cfg.Heartbeat)
 }
 
@@ -464,6 +486,9 @@ type stageRun struct {
 	// (holder of shuffleRunning); released when the job fails mid-stage so
 	// later jobs can rerun the shuffle.
 	runsShuffle bool
+	// charged lists the RDD ids this run holds DAG-policy references on;
+	// nil once released (cachepolicy.go).
+	charged []int
 	// durations collects completed-task durations for the speculation
 	// median.
 	durations []time.Duration
@@ -572,6 +597,7 @@ func (e *Engine) startJob(j *job) {
 		if !st.ShuffleMap {
 			j.resultSR = sr
 		}
+		e.chargeStage(sr)
 	}
 	e.trace("job-submit", j.id, -1, -1, -1, fmt.Sprintf("final=%s action=%d stages=%d", j.final.Name, j.action, len(j.stages)))
 	for _, sr := range j.stages {
@@ -874,6 +900,7 @@ func (e *Engine) onStageComplete(sr *stageRun) {
 			return
 		}
 		sr.runsShuffle = false
+		e.releaseStage(sr)
 		delete(e.shuffleRunning, sr.st.ShuffleID)
 		delete(e.shuffleOwner, sr.st.ShuffleID)
 		waiters := e.shuffleWaiters[sr.st.ShuffleID]
@@ -899,6 +926,11 @@ func (e *Engine) finishJob(j *job) {
 	e.activeJobs--
 	e.stats.Jobs++
 	delete(e.jobTab, j.id)
+	// Return any DAG-policy references still held (result stage, failure or
+	// cancellation leftovers) so the job's cached inputs become evictable.
+	for _, sr := range j.stages {
+		e.releaseStage(sr)
+	}
 	e.journalJobComplete(j)
 	jm := metrics.JobMetrics{
 		JobID:     j.id,

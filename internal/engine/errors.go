@@ -13,10 +13,14 @@ import (
 // outputs) instead of a plain retry. ErrJobCancelled marks a job withdrawn
 // by the client before completion — deadline expiry, admission-control
 // shedding, or driver shutdown; its tasks are unwound, never retried.
+// ErrOOM marks a task whose cache write exceeded the executor's
+// (pressure-shrunk) capacity inside an armed ExecutorOOM window; it retries
+// like any executor-side failure and recomputes through lineage.
 var (
 	ErrStorage      = errors.New("engine: storage error")
 	ErrFetchFailed  = errors.New("engine: shuffle fetch failed")
 	ErrJobCancelled = errors.New("engine: job cancelled")
+	ErrOOM          = errors.New("engine: executor out of memory")
 )
 
 // fetchError carries the shuffle whose outputs went missing so the recovery

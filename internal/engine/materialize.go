@@ -189,6 +189,9 @@ func (px *planeCtx) materialize(r *rdd.RDD, p int) ([]record.Record, error) {
 		// The block was requested from a cache-enabled RDD and missed: this
 		// is the recompute penalty the locality machinery exists to avoid.
 		px.cacheMiss()
+		if e.evictedEver[id] {
+			px.evictedRecompute()
+		}
 	}
 	if r.Checkpointed && e.store.HasCheckpoint(r.ID, p) {
 		data, bytes, err := e.store.ReadCheckpoint(r.ID, p)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,9 @@ type planeCtx struct {
 	// maxTT accumulates per-RDD max transform time for a deferred max-merge.
 	maxTT        map[*rdd.RDD]time.Duration
 	hits, misses int64
+	// recomputes counts cache misses on blocks a policy eviction previously
+	// dropped, merged into CacheStats at join.
+	recomputes int64
 
 	// scr backs the plane's transient tables (shuffle bucketing indexes,
 	// span permutations) with bump-allocated arenas. It is reset at the
@@ -141,12 +145,19 @@ func (px *planeCtx) cacheGet(id cluster.BlockID) ([]record.Record, bool) {
 }
 
 // cachePut stores a block in the task's executor cache; deferred mode logs
-// the put (evictions and task wake-ups happen at join).
+// the put (evictions and task wake-ups happen at join). Immediate mode is
+// the driver's own synchronous materialization, so a refused put degrades
+// to a counted refusal and never OOM-fails.
 func (px *planeCtx) cachePut(id cluster.BlockID, data []record.Record, bytes int64) {
 	if px.immediate {
-		evicted := px.e.cl.CachePut(px.exec, id, data, bytes)
+		evicted, st := px.e.cl.CachePutChecked(px.exec, id, data, bytes)
+		px.e.noteEvicted(evicted)
 		px.e.onEvictions(px.exec, evicted)
-		px.e.wakeTasks(id)
+		if st == cluster.PutStored {
+			px.e.wakeTasks(id)
+		} else {
+			px.e.countRefusal(st)
+		}
 		return
 	}
 	if px.local == nil {
@@ -215,6 +226,17 @@ func (px *planeCtx) cacheMiss() {
 		return
 	}
 	px.misses++
+}
+
+// evictedRecompute records a cache miss on a block a policy eviction
+// previously dropped — the recompute penalty the DAG-aware policy exists to
+// reduce.
+func (px *planeCtx) evictedRecompute() {
+	if px.immediate {
+		px.e.cacheUpdate(func(m *cacheMetrics) { m.RecomputesAfterEviction++ })
+		return
+	}
+	px.recomputes++
 }
 
 // dropCorrupt evicts a corrupt persisted block, deferred to the join.
@@ -369,14 +391,40 @@ func (e *Engine) joinTask(be *batchEntry) {
 		e.releaseSlot(t)
 		return
 	}
+	oomWindow := e.oomArmed[px.exec]
+	oomFailed := false
 	for _, op := range px.ops {
-		if op.put {
-			evicted := e.cl.CachePut(px.exec, op.id, op.data, op.bytes)
-			e.onEvictions(px.exec, evicted)
-			e.wakeTasks(op.id)
-		} else {
+		if !op.put {
 			e.cl.CacheGet(px.exec, op.id) // LRU recency replay
+			continue
 		}
+		if oomFailed {
+			// The task died at its first over-bound write; later writes
+			// never happened.
+			continue
+		}
+		evicted, st := e.cl.CachePutChecked(px.exec, op.id, op.data, op.bytes)
+		e.noteEvicted(evicted)
+		e.onEvictions(px.exec, evicted)
+		if st == cluster.PutStored {
+			e.wakeTasks(op.id)
+			continue
+		}
+		// The store refused the cache (over the shrunk bound, or evicting
+		// would break a pinned peer group). Inside an armed ExecutorOOM
+		// window that write is fatal; otherwise degrade gracefully — the
+		// partition already streamed to its consumer uncached, and the
+		// refusal evicted nothing, so there is no thrash to pay.
+		if oomWindow {
+			oomFailed = true
+			e.cacheUpdate(func(m *cacheMetrics) { m.OOMTaskFailures++ })
+			e.trace("task-oom", t.sr.job.id, t.sr.st.ID, t.id, px.exec,
+				fmt.Sprintf("block=%v status=%v", op.id, st))
+			continue
+		}
+		e.countRefusal(st)
+		e.trace("cache-refuse", t.sr.job.id, t.sr.st.ID, t.id, px.exec,
+			fmt.Sprintf("block=%v status=%v", op.id, st))
 	}
 	for _, d := range px.drops {
 		if d.checkpoint {
@@ -402,8 +450,14 @@ func (e *Engine) joinTask(be *batchEntry) {
 	}
 	e.stats.CacheHits += px.hits
 	e.stats.CacheMisses += px.misses
+	if px.recomputes > 0 {
+		n := int(px.recomputes)
+		e.cacheUpdate(func(m *cacheMetrics) { m.RecomputesAfterEviction += n })
+	}
 	if px.err != nil {
 		t.failErr = px.err
+	} else if oomFailed {
+		t.failErr = fmt.Errorf("%w: executor %d over capacity under mem pressure", ErrOOM, px.exec)
 	}
 	dur := px.dur
 	// A straggling executor stretches the modeled duration; speculation keys

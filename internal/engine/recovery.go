@@ -325,6 +325,7 @@ func (e *Engine) rebuildShuffle(j *job, shuffleID int) {
 	}
 	sr := &stageRun{st: st, job: j, started: true, runsShuffle: true}
 	j.stages = append(j.stages, sr)
+	e.chargeStage(sr)
 	e.shuffleRunning[shuffleID] = true
 	e.shuffleOwner[shuffleID] = j
 	e.trace("stage-resubmit", j.id, st.ID, -1, -1,
@@ -513,6 +514,28 @@ func (e *Engine) registerShuffleStage(st *sched.Stage) {
 func (e *Engine) SetStraggler(id int, factor float64) {
 	e.cl.SetSlowdown(id, factor)
 	e.trace("executor-straggle", -1, -1, -1, id, fmt.Sprintf("factor=%.2f", factor))
+}
+
+// SetMemPressure shrinks (factor < 1) or restores (factor >= 1) an
+// executor's effective cache capacity — the MemPressure fault. The GC
+// pressure model, the put path, and the admission ledger all read the
+// effective capacity, so the squeeze shows up everywhere at once; cached
+// blocks above the shrunk bound are not evicted eagerly, the next put pays.
+func (e *Engine) SetMemPressure(id int, factor float64) {
+	e.cl.SetMemPressure(id, factor)
+	e.trace("executor-mem-pressure", -1, -1, -1, id, fmt.Sprintf("factor=%.2g", factor))
+}
+
+// SetOOMWindow arms or disarms an ExecutorOOM window: while armed, a cache
+// write the (shrunk) capacity cannot admit fails its task with ErrOOM
+// instead of degrading to a graceful refusal (plane.go's joinTask).
+func (e *Engine) SetOOMWindow(id int, armed bool) {
+	if armed {
+		e.oomArmed[id] = true
+	} else {
+		delete(e.oomArmed, id)
+	}
+	e.trace("executor-oom-window", -1, -1, -1, id, fmt.Sprintf("armed=%v", armed))
 }
 
 // DropShuffleBlock deletes the pick-th committed shuffle map output (modulo

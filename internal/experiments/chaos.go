@@ -107,6 +107,16 @@ type ChaosResult struct {
 	JournalReplayed int // journal records replayed across all restarts
 	JournalTorn     int // torn journal tails truncated during replay
 
+	// Memory-pressure aggregates: fault windows delivered and how the engine
+	// degraded — graceful cache refusals (incl. pinned-group refusals), OOM
+	// task failures, and recomputes of previously evicted blocks.
+	MemPressures    int
+	OOMWindows      int
+	CacheRefusals   int
+	PinnedBlocked   int
+	OOMTaskFails    int
+	EvictRecomputes int
+
 	StreamOracle string // fault-free stream-window fingerprint
 
 	MaxDelay time.Duration // largest recovery delay seen over all seeds
@@ -118,6 +128,7 @@ type chaosRun struct {
 	end         time.Duration
 	err         error
 	rec         stark.RecoveryStats
+	cache       stark.CacheStats
 	faults      stark.FaultStats
 }
 
@@ -153,6 +164,7 @@ func chaosWorkload(cfg ChaosConfig, opts ...stark.Option) (run chaosRun) {
 	ctx := stark.NewContext(append(base, opts...)...)
 	defer func() {
 		run.rec = ctx.RecoveryStats()
+		run.cache = ctx.CacheStats()
 		run.faults = ctx.FaultStats()
 		run.end = ctx.Now()
 	}()
@@ -220,7 +232,8 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
 		sched := stark.RandomFaultSchedule(seed, res.Horizon, cfg.Executors).
 			WithNetFaults(seed, res.Horizon, cfg.Executors).
-			WithDriverFaults(seed, res.Horizon)
+			WithDriverFaults(seed, res.Horizon).
+			WithMemFaults(seed, res.Horizon, cfg.Executors)
 		if cfg.DumpFaults != nil {
 			fprintf(cfg.DumpFaults, "seed %d fault schedule:\n", seed)
 			for _, line := range sched.Describe() {
@@ -267,6 +280,12 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.DriverRestarts += run.rec.DriverRestarts
 		res.JournalReplayed += run.rec.JournalRecordsReplayed
 		res.JournalTorn += run.rec.JournalTornTails
+		res.MemPressures += run.faults.MemPressures
+		res.OOMWindows += run.faults.OOMWindows
+		res.CacheRefusals += run.cache.CacheRefusals
+		res.PinnedBlocked += run.cache.PinnedEvictionsBlocked
+		res.OOMTaskFails += run.cache.OOMTaskFailures
+		res.EvictRecomputes += run.cache.RecomputesAfterEviction
 		if d := run.rec.MaxDetectionDelay(); d > res.MaxDetect {
 			res.MaxDetect = d
 		}
@@ -422,6 +441,8 @@ func (r ChaosResult) Print(w io.Writer) {
 		r.Suspicions, r.SuspCleared, r.DeadDecls, r.Rejoins, r.StaleRejects, r.CorruptReads, r.MaxDetect)
 	fprintf(w, "  driver domain:   crashes=%d restarts=%d journalReplayed=%d tornTails=%d\n",
 		r.DriverCrashes, r.DriverRestarts, r.JournalReplayed, r.JournalTorn)
+	fprintf(w, "  memory pressure: windows=%d oomWindows=%d refusals=%d pinnedBlocked=%d oomTaskFails=%d evictRecomputes=%d\n",
+		r.MemPressures, r.OOMWindows, r.CacheRefusals, r.PinnedBlocked, r.OOMTaskFails, r.EvictRecomputes)
 	if r.StreamOracle != "" {
 		fprintf(w, "  stream window:   oracle fingerprint %s across %d driver-crash seeds\n",
 			r.StreamOracle, r.Cfg.Seeds)

@@ -91,6 +91,29 @@ type DriverCrash struct {
 	TearTail     int
 }
 
+// MemPressure shrinks one executor's effective cache capacity to Factor
+// times the configured bound for a window of virtual time — the memory
+// squeeze that precedes an OOM. While the window is open, puts that no
+// longer fit degrade gracefully (the engine refuses the cache and streams)
+// unless an ExecutorOOM window is also armed on the executor.
+type MemPressure struct {
+	At       time.Duration
+	For      time.Duration
+	Executor int
+	Factor   float64
+}
+
+// ExecutorOOM arms an out-of-memory window on one executor: while open, a
+// put that cannot fit under the (pressure-shrunk) capacity fails the task
+// with the engine's typed ErrOOM instead of degrading to a cache refusal,
+// driving the normal retry/lineage-recompute path. Pair it with an
+// overlapping MemPressure window to make puts actually overflow.
+type ExecutorOOM struct {
+	At       time.Duration
+	For      time.Duration
+	Executor int
+}
+
 // TenantStorm is an open-loop arrival burst against one tenant session:
 // starting At, Jobs submissions spaced Every apart, each at Priority. The
 // injector never waits for completions — arrival rate is decoupled from
@@ -137,6 +160,10 @@ type Schedule struct {
 	// Driver-fault events (require the engine's driver-recovery feature).
 	DriverCrashes []DriverCrash
 
+	// Memory-pressure fault events.
+	MemPressures []MemPressure
+	ExecutorOOMs []ExecutorOOM
+
 	// Session-layer fault events (require the multi-tenant job server;
 	// delivered through ArmSession, not Arm).
 	TenantStorms []TenantStorm
@@ -148,14 +175,16 @@ func (s Schedule) Empty() bool {
 	return s.StorageErrorProb == 0 && s.MsgDropProb == 0 &&
 		len(s.Crashes) == 0 && len(s.Stragglers) == 0 && len(s.BlockLoss) == 0 &&
 		len(s.Partitions) == 0 && len(s.NetDelays) == 0 && len(s.BlockCorrupt) == 0 &&
-		len(s.DriverCrashes) == 0 && len(s.TenantStorms) == 0 && len(s.SlowTenants) == 0
+		len(s.DriverCrashes) == 0 && len(s.MemPressures) == 0 && len(s.ExecutorOOMs) == 0 &&
+		len(s.TenantStorms) == 0 && len(s.SlowTenants) == 0
 }
 
 // Events reports the number of scheduled (non-probabilistic) fault events.
 func (s Schedule) Events() int {
 	return len(s.Crashes) + len(s.Stragglers) + len(s.BlockLoss) +
 		len(s.Partitions) + len(s.NetDelays) + len(s.BlockCorrupt) +
-		len(s.DriverCrashes) + len(s.TenantStorms) + len(s.SlowTenants)
+		len(s.DriverCrashes) + len(s.MemPressures) + len(s.ExecutorOOMs) +
+		len(s.TenantStorms) + len(s.SlowTenants)
 }
 
 // System is the surface the injector drives; the engine implements it.
@@ -185,6 +214,13 @@ type System interface {
 	// driver-recovery feature.
 	CrashDriver(tearTail int)
 	RestartDriver()
+	// SetMemPressure shrinks an executor's effective cache capacity to
+	// factor times the configured bound (factor >= 1 restores it).
+	SetMemPressure(id int, factor float64)
+	// SetOOMWindow arms or disarms an executor's out-of-memory window:
+	// while armed, a cache put that cannot fit fails the task with a typed
+	// OOM error instead of degrading to a graceful refusal.
+	SetOOMWindow(id int, armed bool)
 }
 
 // SessionSystem is the session-layer surface the injector drives; the
@@ -217,6 +253,8 @@ type Stats struct {
 	MissedDrops     int // block events that found nothing to drop/corrupt
 	DriverCrashes   int
 	DriverRestarts  int
+	MemPressures    int // mem-pressure windows opened
+	OOMWindows      int // executor-OOM windows armed
 	TenantStorms    int // storm bursts started
 	StormJobs       int // individual storm submissions delivered
 	PoisonJobs      int // slow-tenant poison submissions delivered
@@ -227,15 +265,16 @@ type Stats struct {
 func (s Stats) Total() int {
 	return s.Crashes + s.Stragglers + s.BlocksDropped + s.BlocksCorrupted +
 		s.Partitions + s.DelayWindows + s.StorageErrors + s.MsgDrops +
-		s.DriverCrashes + s.StormJobs + s.PoisonJobs
+		s.DriverCrashes + s.MemPressures + s.OOMWindows + s.StormJobs + s.PoisonJobs
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d driverCrashes=%d stormJobs=%d poisonJobs=%d",
+	return fmt.Sprintf("crashes=%d restarts=%d stragglers=%d partitions=%d delayWindows=%d blocksDropped=%d blocksCorrupted=%d storageErrors=%d/%d msgDrops=%d/%d driverCrashes=%d memPressure=%d oomWindows=%d stormJobs=%d poisonJobs=%d",
 		s.Crashes, s.Restarts, s.Stragglers, s.Partitions, s.DelayWindows,
 		s.BlocksDropped, s.BlocksCorrupted, s.StorageErrors, s.StorageRolls,
-		s.MsgDrops, s.MsgRolls, s.DriverCrashes, s.StormJobs, s.PoisonJobs)
+		s.MsgDrops, s.MsgRolls, s.DriverCrashes, s.MemPressures, s.OOMWindows,
+		s.StormJobs, s.PoisonJobs)
 }
 
 // Injector delivers one Schedule. Create with New, wire storage errors via
@@ -363,6 +402,22 @@ func (in *Injector) Arm(loop *vtime.Loop, sys System) {
 				}
 			})
 		})
+	}
+	for _, mp := range in.sched.MemPressures {
+		mp := mp
+		loop.At(mp.At, func() {
+			in.bump(func(s *Stats) { s.MemPressures++ })
+			sys.SetMemPressure(mp.Executor, mp.Factor)
+		})
+		loop.At(mp.At+mp.For, func() { sys.SetMemPressure(mp.Executor, 1) })
+	}
+	for _, oe := range in.sched.ExecutorOOMs {
+		oe := oe
+		loop.At(oe.At, func() {
+			in.bump(func(s *Stats) { s.OOMWindows++ })
+			sys.SetOOMWindow(oe.Executor, true)
+		})
+		loop.At(oe.At+oe.For, func() { sys.SetOOMWindow(oe.Executor, false) })
 	}
 	for _, dc := range in.sched.DriverCrashes {
 		dc := dc
@@ -578,6 +633,53 @@ func (s Schedule) WithDriverFaults(seed int64, horizon time.Duration) Schedule {
 	return s
 }
 
+// WithMemFaults returns a copy of the schedule extended with randomized
+// memory-pressure faults derived from the same seed on an independent RNG
+// stream (leaving the base, network, and driver draws untouched): one or
+// two mem-pressure windows whose shrink factors are drawn small enough to
+// squeeze even generously-provisioned executors (down to a zero-capacity
+// squeeze), and, roughly half the time, one ExecutorOOM window nested
+// inside the first pressure window so overflowing puts fail tasks rather
+// than merely degrade. OOM windows never target executor 0 (matching the
+// crash rule) and stay short relative to the engine's default cumulative
+// retry backoff, so a task that OOMs at the window's edge still has a
+// retry landing after the squeeze lifts.
+func (s Schedule) WithMemFaults(seed int64, horizon time.Duration, executors int) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed ^ 0x3e30a7)))
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	if executors < 1 {
+		return s
+	}
+	// Shrink factors multiply capacities that may be many GiB while the
+	// workload caches kilobytes; only near-zero factors actually bite.
+	factors := []float64{0, 1e-7, 1e-6, 1e-5}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		s.MemPressures = append(s.MemPressures, MemPressure{
+			At:       time.Duration((0.05 + 0.6*rng.Float64()) * float64(horizon)),
+			For:      time.Duration(float64(horizon) * (0.1 + 0.2*rng.Float64())),
+			Executor: rng.Intn(executors),
+			Factor:   factors[rng.Intn(len(factors))],
+		})
+	}
+	if executors >= 2 && rng.Intn(2) == 0 {
+		mp := s.MemPressures[len(s.MemPressures)-1]
+		mp.Executor = 1 + rng.Intn(executors-1)
+		oomFor := 50*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+		if oomFor > mp.For {
+			oomFor = mp.For
+		}
+		s.MemPressures[len(s.MemPressures)-1] = mp
+		s.ExecutorOOMs = append(s.ExecutorOOMs, ExecutorOOM{
+			At:       mp.At,
+			For:      oomFor,
+			Executor: mp.Executor,
+		})
+	}
+	return s
+}
+
 // WithTenantFaults returns a copy of the schedule extended with randomized
 // session-layer faults derived from the same seed on an independent RNG
 // stream (leaving the base, network, and driver draws untouched): one or two
@@ -652,6 +754,12 @@ func (s Schedule) Describe() []string {
 	}
 	for _, dc := range s.DriverCrashes {
 		add(dc.At, "driver-crash restartAfter=%v tearTail=%d", dc.RestartAfter, dc.TearTail)
+	}
+	for _, mp := range s.MemPressures {
+		add(mp.At, "mem-pressure exec=%d factor=%.2g for=%v", mp.Executor, mp.Factor, mp.For)
+	}
+	for _, oe := range s.ExecutorOOMs {
+		add(oe.At, "oom-window   exec=%d for=%v", oe.Executor, oe.For)
 	}
 	for _, ts := range s.TenantStorms {
 		add(ts.At, "tenant-storm tenant=%d jobs=%d every=%v prio=%d", ts.Tenant, ts.Jobs, ts.Every, ts.Priority)

@@ -50,6 +50,20 @@ func (r *recorder) CorruptCheckpointBlock(pick int) bool {
 }
 func (r *recorder) CrashDriver(tearTail int) { r.log = append(r.log, "driver-crash") }
 func (r *recorder) RestartDriver()           { r.log = append(r.log, "driver-restart") }
+func (r *recorder) SetMemPressure(id int, factor float64) {
+	if factor < 1 {
+		r.log = append(r.log, "squeeze")
+	} else {
+		r.log = append(r.log, "unsqueeze")
+	}
+}
+func (r *recorder) SetOOMWindow(id int, armed bool) {
+	if armed {
+		r.log = append(r.log, "oom-arm")
+	} else {
+		r.log = append(r.log, "oom-disarm")
+	}
+}
 
 func TestArmDeliversScheduleInOrder(t *testing.T) {
 	s := Schedule{
@@ -183,6 +197,80 @@ func TestWithNetFaultsDeterministicAndSafe(t *testing.T) {
 				t.Fatalf("seed %d: partition never heals", seed)
 			}
 		}
+	}
+}
+
+func TestArmDeliversMemFaults(t *testing.T) {
+	s := Schedule{
+		MemPressures: []MemPressure{{At: 10 * time.Millisecond, For: 30 * time.Millisecond, Executor: 1, Factor: 1e-6}},
+		ExecutorOOMs: []ExecutorOOM{{At: 15 * time.Millisecond, For: 10 * time.Millisecond, Executor: 1}},
+	}
+	loop := vtime.NewLoop()
+	rec := &recorder{}
+	in := New(s)
+	in.Arm(loop, rec)
+	loop.Run()
+	want := []string{"squeeze", "oom-arm", "oom-disarm", "unsqueeze"}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("delivery order = %v, want %v", rec.log, want)
+	}
+	st := in.Stats()
+	if st.MemPressures != 1 || st.OOMWindows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Empty() || s.Events() != 2 {
+		t.Fatalf("Empty=%v Events=%d", s.Empty(), s.Events())
+	}
+}
+
+func TestWithMemFaultsDeterministicAndSafe(t *testing.T) {
+	var sawOOM bool
+	for seed := int64(0); seed < 50; seed++ {
+		base := RandomSchedule(seed, 2*time.Second, 8)
+		a := base.WithMemFaults(seed, 2*time.Second, 8)
+		b := base.WithMemFaults(seed, 2*time.Second, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: extended schedules differ", seed)
+		}
+		if !reflect.DeepEqual(a.Crashes, base.Crashes) || a.StorageErrorProb != base.StorageErrorProb {
+			t.Fatalf("seed %d: WithMemFaults perturbed the base schedule", seed)
+		}
+		if len(a.MemPressures) == 0 {
+			t.Fatalf("seed %d: no mem-pressure windows generated", seed)
+		}
+		for _, mp := range a.MemPressures {
+			if mp.For <= 0 {
+				t.Fatalf("seed %d: mem-pressure window never closes", seed)
+			}
+			if mp.Factor < 0 || mp.Factor >= 1 {
+				t.Fatalf("seed %d: shrink factor %v out of squeeze range", seed, mp.Factor)
+			}
+		}
+		for _, oe := range a.ExecutorOOMs {
+			sawOOM = true
+			if oe.Executor == 0 {
+				t.Fatalf("seed %d: OOM window targets executor 0", seed)
+			}
+			// OOM windows must stay shorter than the default cumulative
+			// retry backoff (50+100+200+400ms) so retries outlast them.
+			if oe.For <= 0 || oe.For > 250*time.Millisecond {
+				t.Fatalf("seed %d: OOM window %v outside (0, 250ms]", seed, oe.For)
+			}
+			// Every OOM window must nest inside a pressure window on the
+			// same executor, or it could never fire.
+			var nested bool
+			for _, mp := range a.MemPressures {
+				if mp.Executor == oe.Executor && mp.At <= oe.At && oe.At+oe.For <= mp.At+mp.For {
+					nested = true
+				}
+			}
+			if !nested {
+				t.Fatalf("seed %d: OOM window not nested in a pressure window", seed)
+			}
+		}
+	}
+	if !sawOOM {
+		t.Fatal("50 seeds produced no ExecutorOOM window")
 	}
 }
 

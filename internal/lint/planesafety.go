@@ -17,7 +17,17 @@ var planeMutators = map[string]bool{
 	"schedule": true, "drainBatch": true, "taskDone": true, "releaseSlot": true,
 	"resubmitLostTasks": true, "declareDead": true,
 	// cluster / executor cache (CacheGet mutates LRU recency)
-	"CachePut": true, "CacheGet": true, "Kill": true, "Restart": true,
+	"CachePut": true, "CachePutChecked": true, "CacheGet": true,
+	"Kill": true, "Restart": true,
+	// eviction policy and memory-pressure state: policy swaps, capacity
+	// shrinks, OOM arming, and the DAG refcount table are control-plane
+	// decisions; a worker goroutine touching them would race the planner
+	"SetPolicy": true, "SetShrink": true, "SetMemPressure": true,
+	"SetOOMWindow": true, "Charge": true, "Release": true, "ResetRefs": true,
+	// engine-side cache-policy bookkeeping (refcount charges, eviction
+	// provenance, refusal counters)
+	"cacheUpdate": true, "noteEvicted": true, "countRefusal": true,
+	"chargeStage": true, "releaseStage": true, "installCachePolicy": true,
 	// persistent storage
 	"DropCheckpoint": true, "DropMapOutput": true,
 	"WriteMapOutput": true, "WriteCheckpoint": true,

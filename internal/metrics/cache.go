@@ -1,0 +1,38 @@
+package metrics
+
+import "fmt"
+
+// CacheMetrics aggregates the engine's memory-pressure and eviction-policy
+// counters — the observable side of graceful degradation under cache
+// exhaustion. When caching a block would require breaking a pinned peer
+// group or exceed a pressure-shrunk capacity, the engine refuses the cache
+// deterministically (compute-and-stream) instead of thrashing; these
+// counters make the refusals, the OOM task failures, and the recompute cost
+// of earlier evictions visible to experiments.
+type CacheMetrics struct {
+	// Policy names the active eviction policy ("lru" or "dag").
+	Policy string `json:"policy"`
+
+	// CacheRefusals counts puts the engine declined gracefully: the block
+	// streamed to its consumer uncached and the store was left untouched.
+	CacheRefusals int `json:"cache_refusals"`
+	// PinnedEvictionsBlocked counts the refusals caused specifically by
+	// pinned peer groups (all-or-nothing pinning held; no victim existed).
+	PinnedEvictionsBlocked int `json:"pinned_evictions_blocked"`
+
+	// OOMTaskFailures counts tasks failed with ErrOOM because a cache write
+	// exceeded the shrunk capacity inside an armed ExecutorOOM window; each
+	// went through the normal retry/lineage-recompute path.
+	OOMTaskFailures int `json:"oom_task_failures"`
+
+	// RecomputesAfterEviction counts cache misses on blocks a policy
+	// eviction previously dropped — the recompute penalty the DAG-aware
+	// policy exists to reduce.
+	RecomputesAfterEviction int `json:"recomputes_after_eviction"`
+}
+
+// String renders a one-line summary.
+func (c CacheMetrics) String() string {
+	return fmt.Sprintf("policy=%s refusals=%d pinnedBlocked=%d oomFails=%d recomputesAfterEvict=%d",
+		c.Policy, c.CacheRefusals, c.PinnedEvictionsBlocked, c.OOMTaskFailures, c.RecomputesAfterEviction)
+}

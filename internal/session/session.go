@@ -49,6 +49,13 @@ type Config struct {
 	// BytesPerPartition is the per-partition admission charge
 	// (default 1 MiB).
 	BytesPerPartition int64
+	// TrackClusterMemory couples the ledger to the cluster's live,
+	// pressure-shrunk cache capacity: the effective budget becomes
+	// min(MemoryBudget, TotalEffectiveCapacity()), so MemPressure windows
+	// and executor deaths shrink admission headroom immediately and the
+	// server sheds with ErrOverload instead of admitting work the squeezed
+	// cluster cannot hold.
+	TrackClusterMemory bool
 	// Quantum is the deficit-round-robin quantum in partition-cost units
 	// credited per visit, multiplied by the tenant's quota (default 8).
 	Quantum int
@@ -366,7 +373,8 @@ func (t *Tenant) Submit(final *rdd.RDD, action engine.Action, opts SubmitOptions
 // it. Reports whether j may be queued; on false, j has already failed with
 // ErrOverload.
 func (s *Server) admit(t *Tenant, j *Job, charge int64) bool {
-	if s.cfg.MemoryBudget > 0 && charge > s.cfg.MemoryBudget {
+	budget := s.effectiveBudget()
+	if budget > 0 && charge > budget {
 		s.shedJob(j) // larger than the whole budget: never admissible
 		return false
 	}
@@ -377,13 +385,26 @@ func (s *Server) admit(t *Tenant, j *Job, charge int64) bool {
 		}
 	}
 	for s.queued >= s.cfg.MaxQueuedTotal ||
-		(s.cfg.MemoryBudget > 0 && s.pinned+charge > s.cfg.MemoryBudget) {
+		(budget > 0 && s.pinned+charge > budget) {
 		if !s.shedFrom(s.tenants, j.priority) {
 			s.shedJob(j)
 			return false
 		}
 	}
 	return true
+}
+
+// effectiveBudget resolves the ledger bound for this instant: the static
+// MemoryBudget, optionally clamped to the cluster's current effective cache
+// capacity (TrackClusterMemory), which mem-pressure faults shrink.
+func (s *Server) effectiveBudget() int64 {
+	b := s.cfg.MemoryBudget
+	if s.cfg.TrackClusterMemory {
+		if c := s.eng.Cluster().TotalEffectiveCapacity(); b <= 0 || c < b {
+			b = c
+		}
+	}
+	return b
 }
 
 // shedFrom sheds the lowest-priority queued entry across the given tenants

@@ -343,3 +343,50 @@ func TestCloseFailsQueuedAndCancelsRunning(t *testing.T) {
 		t.Fatal("Closed() = false")
 	}
 }
+
+// TestTrackClusterMemorySheds couples the admission ledger to the cluster's
+// live effective capacity: a job that fits the static budget is shed once a
+// MemPressure window shrinks the executors underneath it.
+func TestTrackClusterMemorySheds(t *testing.T) {
+	ecfg := testConfig()
+	ecfg.Cluster.MemoryPerExecutor = 1 << 19 // 4 executors -> 2 MiB total
+	e := engine.New(ecfg)
+	cfg := DefaultConfig()
+	cfg.MemoryBudget = 1 << 40 // effectively unlimited static budget
+	cfg.TrackClusterMemory = true
+	cfg.BytesPerPartition = 1 << 20
+	s := Open(e, cfg)
+	a := s.RegisterTenant("a", 1)
+
+	var r Result
+	fits := countJob(e.Graph(), "fits", 2) // pins 2 MiB = capacity
+	a.Submit(fits, engine.ActionCount, SubmitOptions{OnDone: func(res Result) { r = res }})
+	e.Loop().Run()
+	if r.Err != nil {
+		t.Fatalf("capacity-fitting submission failed: %v", r.Err)
+	}
+
+	// Squeeze every executor to a quarter capacity: the same shape of job
+	// now exceeds the cluster's effective memory and must shed up front.
+	for i := 0; i < 4; i++ {
+		e.SetMemPressure(i, 0.25)
+	}
+	var r2 Result
+	again := countJob(e.Graph(), "again", 2)
+	a.Submit(again, engine.ActionCount, SubmitOptions{OnDone: func(res Result) { r2 = res }})
+	if !errors.Is(r2.Err, ErrOverload) {
+		t.Fatalf("submission under mem pressure err = %v, want ErrOverload", r2.Err)
+	}
+
+	// Releasing the pressure restores admission.
+	for i := 0; i < 4; i++ {
+		e.SetMemPressure(i, 1)
+	}
+	var r3 Result
+	after := countJob(e.Graph(), "after", 2)
+	a.Submit(after, engine.ActionCount, SubmitOptions{OnDone: func(res Result) { r3 = res }})
+	e.Loop().Run()
+	if r3.Err != nil {
+		t.Fatalf("submission after pressure release failed: %v", r3.Err)
+	}
+}
