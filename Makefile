@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-nightly multitenant cachepolicy bench bench-json bench-engine examples experiments clean
+.PHONY: all build vet lint lint-json test test-short test-race chaos chaos-nightly multitenant cachepolicy bench bench-json bench-engine examples experiments clean
 
 all: build lint test
 
@@ -13,10 +13,17 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus starklint, the repo's determinism/purity/
-# plane-isolation analyzers (see DESIGN.md section 11). Gate for every
-# bench target so BENCH_* numbers never come off a dirty tree.
+# plane-isolation analyzers (see DESIGN.md section 11) and the module-wide
+# call-graph suite (planetaint, hotalloc, errwrap; section 16). Gate for
+# every bench target so BENCH_* numbers never come off a dirty tree.
 lint: vet
 	$(GO) run ./cmd/starklint ./...
+
+# Same analyzers, machine-readable: one JSON object per finding, written to
+# starklint-findings.json for CI artifacts and editor tooling. Exit status
+# matches `make lint`, so the file holds the findings whenever this fails.
+lint-json: vet
+	$(GO) run ./cmd/starklint -json ./... > starklint-findings.json
 
 test:
 	$(GO) test ./...

@@ -242,6 +242,7 @@ func (px *planeCtx) materialize(r *rdd.RDD, p int) ([]record.Record, error) {
 		var inputBytes int64
 		for i, d := range r.Deps {
 			if d.Shuffle {
+				//starklint:ignore planetaint ReadReduce's lazy index rebuild only runs when the shuffle is dirty, and PrepareShuffleReads forces every rebuild on the event loop before parallel dispatch; the worker-side call is read-only at runtime
 				recs, bytes, err := e.store.ReadReduce(d.ShuffleID, p)
 				if err != nil {
 					var ce *storage.CorruptError

@@ -539,7 +539,7 @@ func (r *BenchResult) CheckBudget(b Budget) error {
 		}
 	}
 	if len(errs) > 0 {
-		return fmt.Errorf("allocation budget exceeded:\n  %s", joinLines(errs))
+		return fmt.Errorf("allocation budget exceeded:\n  %s\n(run `go run ./cmd/starklint ./...` — hotalloc findings point at the per-call allocations on the annotated hot paths)", joinLines(errs))
 	}
 	return nil
 }

@@ -17,6 +17,21 @@ type Config struct {
 	// or grouping state, binding the mapiter analyzer: engine, sched, group,
 	// partition, session.
 	OrderedPkg func(path string) bool
+
+	// ControlPlanePkg reports whether a package's named types count as
+	// control-plane state for planetaint. A function is inferred to be a
+	// mutator when it stores through a pointer to a named type declared in a
+	// control-plane package (or to a package-level var there) — no manual
+	// mutator registration. Kernel packages (record, arena, partition, ...)
+	// are excluded: their types are plane-owned working state.
+	ControlPlanePkg func(path string) bool
+
+	// PlaneLocalTypes names engine types that, despite living in a
+	// control-plane package, are owned by exactly one plane execution and
+	// are therefore safe to mutate from worker goroutines: the planeCtx
+	// overlay itself, the batch entry and task being executed, and the
+	// per-plane cost accumulator.
+	PlaneLocalTypes map[string]bool
 }
 
 // DefaultConfig returns the Stark repo policy.
@@ -38,6 +53,47 @@ func DefaultConfig() *Config {
 			}
 			return false
 		},
+		ControlPlanePkg: defaultControlPlanePkg,
+		PlaneLocalTypes: defaultPlaneLocalTypes(),
+	}
+}
+
+// defaultControlPlanePkg lists the packages whose types are control-plane
+// state: mutating them from a worker goroutine races the event loop and
+// breaks the parallelism-1-vs-N identity. Deliberately absent: record,
+// arena, partition, rdd, zorder, and the workload/analytics packages —
+// those hold plane-owned or immutable working data that kernels mutate by
+// design.
+func defaultControlPlanePkg(path string) bool {
+	switch path {
+	case "stark",
+		"stark/internal/engine",
+		"stark/internal/cluster",
+		"stark/internal/storage",
+		"stark/internal/sched",
+		"stark/internal/group",
+		"stark/internal/vtime",
+		"stark/internal/fault",
+		"stark/internal/journal",
+		"stark/internal/net",
+		"stark/internal/session",
+		"stark/internal/metrics",
+		"stark/internal/locality",
+		"stark/internal/replication",
+		"stark/internal/checkpoint":
+		return true
+	}
+	return false
+}
+
+// defaultPlaneLocalTypes returns the engine types exempt from planetaint's
+// control-plane store detection because a single plane execution owns them.
+func defaultPlaneLocalTypes() map[string]bool {
+	return map[string]bool{
+		"planeCtx":   true,
+		"batchEntry": true,
+		"task":       true,
+		"costAcc":    true,
 	}
 }
 
@@ -45,5 +101,10 @@ func DefaultConfig() *Config {
 // it so scope policy cannot mask an analyzer bug.
 func PermissiveConfig() *Config {
 	all := func(string) bool { return true }
-	return &Config{DeterministicPkg: all, OrderedPkg: all}
+	return &Config{
+		DeterministicPkg: all,
+		OrderedPkg:       all,
+		ControlPlanePkg:  all,
+		PlaneLocalTypes:  defaultPlaneLocalTypes(),
+	}
 }

@@ -2,11 +2,19 @@
 // suite. It enforces at build time the determinism, purity, and
 // plane-isolation contracts that the engine's runtime oracles (the
 // parallelism-1-vs-N byte-equality tests, STARK_CHECK_COW fingerprinting,
-// the chaos harness) can only check after the fact: no wall-clock reads in
-// deterministic packages, no global math/rand state, no order-dependent
-// iteration over maps in scheduling paths, no mutation of copy-on-write
-// record slices inside transform closures, and no control-plane mutation
-// from data-plane code outside the buffered side-effect context.
+// the chaos harness, the bench_budget.json allocs/op gate) can only check
+// after the fact: no wall-clock reads in deterministic packages, no global
+// math/rand state, no order-dependent iteration over maps in scheduling
+// paths, no mutation of copy-on-write record slices inside transform
+// closures.
+//
+// On top of the per-package analyzers, three interprocedural analyzers run
+// over a module-wide static call graph (see callgraph.go and DESIGN.md
+// section 16): planetaint flags data-plane code transitively reaching a
+// control-plane mutation outside the px.immediate guard, hotalloc flags
+// allocation-inducing constructs reachable from //starklint:hotpath
+// kernels, and errwrap flags error wrapping that severs errors.Is/Unwrap
+// reachability of the typed sentinels.
 //
 // The suite is built on the standard library only (go/parser + go/types,
 // with export data served from the build cache via `go list -export`), so
@@ -14,16 +22,17 @@
 //
 //	//starklint:ignore <analyzer> <reason>
 //
-// on the offending line or the line directly above it; the reason is
-// mandatory. See DESIGN.md section 11 for the invariant-to-analyzer map.
+// on the offending line, the line directly above it, or the start line of
+// the multi-line expression the directive trails; the reason is mandatory.
+// See DESIGN.md section 11 for the invariant-to-analyzer map.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -35,6 +44,18 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// MarshalJSON encodes the finding in the stable shape cmd/starklint -json
+// emits (one object per finding): file, line, col, analyzer, message.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
 }
 
 // Analyzer is one named check. Run inspects the package held by the pass
@@ -68,21 +89,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full starklint suite in stable order.
+// Analyzers returns the per-package starklint suite in stable order. The
+// interprocedural analyzers live in ModuleAnalyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WallclockAnalyzer,
 		GlobalrandAnalyzer,
 		MapiterAnalyzer,
 		CowpurityAnalyzer,
-		PlanesafetyAnalyzer,
 	}
 }
 
-// knownAnalyzer reports whether name is a member of the suite (used to
-// validate suppression directives).
+// knownAnalyzer reports whether name is a member of the suite — per-package
+// or module-wide (used to validate suppression directives).
 func knownAnalyzer(name string) bool {
 	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	for _, a := range ModuleAnalyzers() {
 		if a.Name == name {
 			return true
 		}
@@ -118,18 +144,6 @@ func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	kept = append(kept, bad...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
+	sortDiagnostics(kept)
 	return kept
 }

@@ -31,6 +31,12 @@ func TestRepoIsClean(t *testing.T) {
 			t.Errorf("%s", d)
 		}
 	}
+	// The interprocedural analyzers (planetaint, hotalloc, errwrap) run over
+	// the module-wide call graph built across every loaded package.
+	for _, d := range lint.RunModule(pkgs, cfg, lint.ModuleAnalyzers()) {
+		clean = false
+		t.Errorf("%s", d)
+	}
 	if !clean {
 		t.Log("fix the finding or add //starklint:ignore <analyzer> <reason> with a real justification")
 	}

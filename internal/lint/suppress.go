@@ -13,7 +13,11 @@ import (
 //
 // A directive silences the named analyzers on its own line and on the next
 // line that is not itself a directive (so it works both as a trailing
-// comment and on a line of its own, including stacked directives). The
+// comment and on a line of its own, including stacked directives). A
+// directive trailing part of a multi-line expression additionally covers
+// the expression's start line, where analyzers anchor their findings — but
+// never escapes the function literal it is written in, so a directive
+// inside a closure cannot silence a finding on the enclosing call. The
 // reason is mandatory: a directive without one is itself a finding, so
 // every suppression in the tree documents why the invariant does not apply.
 const directivePrefix = "//starklint:ignore"
@@ -103,6 +107,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (*suppressionSe
 			m = map[int][]*suppression{}
 			set.byFile[filename] = m
 		}
+		exprs, funcLits := multiLineSpans(fset, f)
 		for _, d := range dirs {
 			// A directive covers its own line (trailing-comment form) and the
 			// first following line that is not another directive (own-line
@@ -114,7 +119,58 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (*suppressionSe
 			d.sup.target = target
 			m[d.line] = append(m[d.line], d.sup)
 			m[target] = append(m[target], d.sup)
+			// A directive trailing part of a wrapped expression also covers
+			// the expression's start line, where the finding anchors — unless
+			// the directive sits inside a function literal nested within that
+			// expression (it must not leak out of the closure's body).
+			for _, es := range exprs {
+				if es.startLine >= d.line || es.endLine < d.line {
+					continue
+				}
+				leaked := false
+				for _, fl := range funcLits {
+					if fl.pos > es.pos && d.pos >= fl.pos && d.pos <= fl.end {
+						leaked = true
+						break
+					}
+				}
+				if !leaked {
+					m[es.startLine] = append(m[es.startLine], d.sup)
+				}
+			}
 		}
 	}
 	return set, bad
+}
+
+// lineSpan is the position/line extent of one AST node.
+type lineSpan struct {
+	pos, end           token.Pos
+	startLine, endLine int
+}
+
+// multiLineSpans collects every expression spanning more than one line
+// (function literals excluded — they scope directives, not extend them)
+// plus the spans of all function literals.
+func multiLineSpans(fset *token.FileSet, f *ast.File) (exprs, funcLits []lineSpan) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		sp := lineSpan{
+			pos: e.Pos(), end: e.End(),
+			startLine: fset.Position(e.Pos()).Line,
+			endLine:   fset.Position(e.End()).Line,
+		}
+		if _, isFL := e.(*ast.FuncLit); isFL {
+			funcLits = append(funcLits, sp)
+			return true
+		}
+		if sp.endLine > sp.startLine {
+			exprs = append(exprs, sp)
+		}
+		return true
+	})
+	return exprs, funcLits
 }

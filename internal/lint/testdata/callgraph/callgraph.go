@@ -1,0 +1,43 @@
+// Package callgraph is the golden fixture for the module call-graph
+// builder: static calls, method values, interface dispatch
+// over-approximation, and generic instantiation.
+package callgraph
+
+type adder struct{ n int }
+
+func (a *adder) add(x int) { a.n += x }
+
+func (a adder) get() int { return a.n }
+
+type doer interface{ do() }
+
+type impl1 struct{}
+
+func (impl1) do() {}
+
+type impl2 struct{}
+
+func (*impl2) do() {}
+
+func leaf() int { return 1 }
+
+// direct makes static calls: a package function and both method forms.
+func direct(a *adder) int {
+	a.add(leaf())
+	return a.get()
+}
+
+// methodValue takes a bound method and a function value: ref edges.
+func methodValue(a *adder) func(int) {
+	_ = leaf
+	return a.add
+}
+
+// dispatch calls through a module-declared interface: the edge expands to
+// every implementation in the module.
+func dispatch(d doer) { d.do() }
+
+// identity is generic; calls resolve to the origin declaration.
+func identity[T any](v T) T { return v }
+
+func useGeneric() int { return identity(2) }

@@ -1,0 +1,18 @@
+// Package errwrap exercises the typed-error-chain lint: sentinels are
+// inferred from package-level Err* error vars, and every re-wrap on a path
+// carrying one must keep errors.Is reachability.
+package errwrap
+
+import "errors"
+
+var ErrOOM = errors.New("out of memory")
+
+var ErrOverload = errors.New("overloaded")
+
+// fetch returns a sentinel, making its callers carrier paths.
+func fetch(ok bool) error {
+	if !ok {
+		return ErrOOM
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package errwrap
+
+import "fmt"
+
+// wrapKeep keeps the chain with %w.
+func wrapKeep(id int) error {
+	return fmt.Errorf("executor %d: %w", id, ErrOOM)
+}
+
+// multiKeep wraps two errors; both use %w.
+func multiKeep(a, b error) error {
+	return fmt.Errorf("join: %w after %w", a, b)
+}
+
+// textOnly formats non-error operands: %v and %d are fine there.
+func textOnly(id int, msg string) error {
+	return fmt.Errorf("executor %d: %v", id, msg)
+}
+
+// chainError wraps one error and exposes the chain.
+type chainError struct {
+	op  string
+	err error
+}
+
+func (e *chainError) Error() string { return e.op }
+func (e *chainError) Unwrap() error { return e.err }
+
+// fanError aggregates several errors and exposes them all via the
+// multi-error Unwrap form.
+type fanError struct {
+	msg  string
+	errs []error
+	err  error
+}
+
+func (e *fanError) Error() string   { return e.msg }
+func (e *fanError) Unwrap() []error { return e.errs }

@@ -1,0 +1,26 @@
+package errwrap
+
+import "fmt"
+
+// wrapFlat flattens a sentinel with %v: errors.Is(err, ErrOOM) breaks.
+func wrapFlat(id int) error {
+	return fmt.Errorf("executor %d: %v", id, ErrOOM) // want errwrap
+}
+
+// rewrapFlat loses the chain of an error received from a carrier path —
+// %s is just as fatal as %v.
+func rewrapFlat(id int) error {
+	if err := fetch(false); err != nil {
+		return fmt.Errorf("fetch %d failed: %s", id, err) // want errwrap
+	}
+	return nil
+}
+
+// opaqueError wraps an error field without Unwrap: errors.Is cannot see
+// through it to the sentinel inside.
+type opaqueError struct { // want errwrap
+	op  string
+	err error
+}
+
+func (e *opaqueError) Error() string { return e.op }

@@ -1,0 +1,10 @@
+package errwrap
+
+import "fmt"
+
+// boundary deliberately flattens at a user-facing boundary where typed
+// identities must not leak to clients.
+func boundary(err error) error {
+	//starklint:ignore errwrap fixture: user-facing boundary intentionally seals the chain
+	return fmt.Errorf("request failed: %v", err)
+}

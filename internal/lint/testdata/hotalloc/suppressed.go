@@ -1,0 +1,12 @@
+package hotalloc
+
+import "sort"
+
+// sortHot mirrors the counting-sort kernels' sparse fallback: sort.Slice
+// boxes the slice into an interface, tolerated off the common path.
+//
+//starklint:hotpath
+func sortHot(keys []int64) {
+	//starklint:ignore hotalloc fixture: sparse fallback path, boxing is off the common path
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}

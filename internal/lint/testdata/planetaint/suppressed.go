@@ -1,0 +1,9 @@
+package planetaint
+
+// contractRead models the PrepareShuffleReads contract in the real store:
+// the lazy rebuild is forced on the event loop before parallel dispatch,
+// so the worker-side call is read-only at runtime.
+func (px *planeCtx) contractRead(id int) []int {
+	//starklint:ignore planetaint fixture: rebuild is forced before parallel dispatch by contract
+	return px.e.store.ReadReduce(id)
+}

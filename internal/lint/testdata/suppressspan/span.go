@@ -1,0 +1,24 @@
+// Package suppressspan is the regression fixture for suppression
+// directives attached to multi-line expressions: the directive must cover
+// the expression's start line (where analyzers anchor findings) without
+// leaking out of the function literal it is written in.
+package suppressspan
+
+import "time"
+
+// wrapped reads the wall clock in a call wrapped across two lines; the
+// directive trailing the second line must suppress the finding reported at
+// the expression's start.
+func wrapped() int64 {
+	return time.Now().
+		Unix() //starklint:ignore wallclock fixture: wrapped expression, directive trails the span
+}
+
+// scoped has a directive inside a closure argument: it covers its own
+// line inside the closure but must NOT suppress the finding on the
+// enclosing call's start line.
+func scoped(run func(time.Time, func())) {
+	run(time.Now(), func() { // want wallclock
+		_ = time.Now //starklint:ignore wallclock fixture: closure-scoped, must not leak outward
+	})
+}

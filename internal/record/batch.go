@@ -92,6 +92,8 @@ type Batch struct {
 // FromRecords builds a batch over rs in one pass: key slab, offsets, FNV-32a
 // hashes, and the exact SizeOfSlice byte total. The row slice is adopted
 // (not copied) under the copy-on-write contract.
+//
+//starklint:hotpath
 func FromRecords(rs []Record) *Batch {
 	n := len(rs)
 	total := 0
@@ -328,6 +330,8 @@ const sparsePartitionThreshold = 4096
 // bucket, and returns the reordered batch plus spans for every non-empty
 // bucket in ascending partition order. All transient tables come from scr;
 // only the reordered batch and span table escape.
+//
+//starklint:hotpath
 func (b *Batch) PartitionStable(idx []int32, nparts int, scr *Scratch) *PartitionedBatch {
 	n := b.Len()
 	perm := scr.I32.Take(n)
@@ -338,6 +342,7 @@ func (b *Batch) PartitionStable(idx []int32, nparts int, scr *Scratch) *Partitio
 		for i := range perm {
 			perm[i] = int32(i)
 		}
+		//starklint:ignore hotalloc sparse path only (nparts >> rows): one slice-header boxing per partition call beats allocating O(nparts) counting arrays
 		sort.SliceStable(perm, func(a, c int) bool { return idx[perm[a]] < idx[perm[c]] })
 		for i := 0; i < n; i++ {
 			if i == 0 || idx[perm[i]] != idx[perm[i-1]] {

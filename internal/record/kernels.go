@@ -27,6 +27,8 @@ var groupScratchPool = sync.Pool{New: func() any { return new(groupScratch) }}
 // regardless of key count. Consumers must treat Values as read-only
 // (appending to one group would clobber its neighbor), which the engine's
 // purity contract already demands.
+//
+//starklint:hotpath
 func GroupByKeySorted(rs []Record) []Grouped {
 	n := len(rs)
 	if n == 0 {
@@ -86,9 +88,11 @@ func GroupByKeySorted(rs []Record) []Grouped {
 		backing[starts[g]+cursor[g]] = rs[i].Value
 		cursor[g]++
 	}
+	//starklint:ignore hotalloc one slice-header boxing per grouping call (not per record); the sorted-output contract needs the sort and sort.Slice is the only stdlib option without a per-call closure type
 	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
 	sc.i32.Reset()
 	sc.u32.Reset()
+	//starklint:ignore hotalloc sync.Pool.Put takes any but *groupScratch is a pointer, so the conversion stores the pointer in the interface word without allocating
 	groupScratchPool.Put(sc)
 	return groups
 }
@@ -100,6 +104,8 @@ func GroupByKeySorted(rs []Record) []Grouped {
 // arena-backed kernel and the sorted group lists merge linearly, so the only
 // allocations besides grouping are the exact-size output slice and the
 // Joined boxes the API requires.
+//
+//starklint:hotpath
 func JoinRecords(left, right []Record) []Record {
 	lg := GroupByKeySorted(left)
 	rg := GroupByKeySorted(right)

@@ -92,6 +92,7 @@ type reduceBucket struct {
 }
 
 func (st *shuffleState) rebuildIndex() {
+	//starklint:ignore hotalloc rebuild runs once per dirty shuffle, not per read — PrepareShuffleReads forces it on the event loop before fan-out and steady-state ReadReduce hits the cached index
 	st.byReduce = make(map[int][]reduceBucket)
 	for m := 0; m < st.numMaps; m++ {
 		for r, b := range st.outputs[m] {
@@ -100,6 +101,7 @@ func (st *shuffleState) rebuildIndex() {
 	}
 	for r := range st.byReduce {
 		bs := st.byReduce[r]
+		//starklint:ignore hotalloc same amortized rebuild path: one boxing per reduce partition per dirty rebuild, off the steady-state read path
 		sort.Slice(bs, func(i, j int) bool { return bs[i].mapPart < bs[j].mapPart })
 	}
 	st.dirty = false
@@ -209,6 +211,8 @@ func (s *Store) WriteMapOutput(id, mapPart int, buckets map[int]Bucket) error {
 // array and key slab, and checksums come off the slab instead of per-record
 // re-hashing. Semantically identical to WriteMapOutput over the equivalent
 // per-bucket row slices.
+//
+//starklint:hotpath
 func (s *Store) WriteMapOutputBatch(id, mapPart int, pb *record.PartitionedBatch) error {
 	if err := s.injected(OpMapOutputWrite); err != nil {
 		return err
@@ -221,6 +225,7 @@ func (s *Store) WriteMapOutputBatch(id, mapPart int, pb *record.PartitionedBatch
 		return fmt.Errorf("storage: shuffle %d map partition %d out of range [0,%d)", id, mapPart, st.numMaps)
 	}
 	rows := pb.Batch.Records()
+	//starklint:ignore hotalloc the bucket map escapes into the shuffle index (one per map-task write, pre-sized to the span count); reusing a cleared map would alias live shuffle state
 	cp := make(map[int]Bucket, len(pb.Spans))
 	for _, sp := range pb.Spans {
 		if sp.Part < 0 || sp.Part >= st.numReduces {
@@ -296,6 +301,8 @@ func (s *Store) PrepareShuffleReads() {
 // ReadReduce concatenates every map output bucket for one reduce partition,
 // returning the records and total bytes fetched. It fails if the shuffle is
 // incomplete, because a real reducer would block.
+//
+//starklint:hotpath
 func (s *Store) ReadReduce(id, reducePart int) ([]record.Record, int64, error) {
 	if err := s.injected(OpShuffleRead); err != nil {
 		return nil, 0, err

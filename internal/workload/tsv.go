@@ -61,7 +61,7 @@ func ReadTSV(r io.Reader) ([]TSVDataset, error) {
 		}
 		idx, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: bad index %q: %v", lineNo, parts[1], err)
+			return nil, fmt.Errorf("workload: line %d: bad index %q: %w", lineNo, parts[1], err)
 		}
 		k := key{tag: parts[0], index: idx}
 		if _, seen := data[k]; !seen {
